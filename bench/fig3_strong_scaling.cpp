@@ -1,0 +1,62 @@
+// Reproduces Figure 3: strong scaling of PINT.
+//
+// Fixed input, varying number of core workers (plus the three treap
+// workers). For each cell we print total time, and when the history drain
+// dominates (total noticeably above core), the core-component time in
+// parentheses - exactly the annotation style of the paper's table.
+//
+// NOTE: on a single-CPU host added workers cannot reduce wall time; the
+// harness still exercises the real multi-worker code paths (steals, traces,
+// asynchronous treap workers), and the core-vs-total gap remains the
+// meaningful signal.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hpp"
+
+using namespace pint;
+using bench::RunSpec;
+using bench::System;
+
+int main(int argc, char** argv) {
+  bench::Args args = bench::parse_args(argc, argv);
+  const double scale = args.scale > 0 ? args.scale : 8.0;
+  const std::vector<std::string> kernels =
+      args.kernels.empty()
+          ? std::vector<std::string>{"heat", "mmul", "sort", "stra"}
+          : args.kernels;
+  const std::vector<int> worker_counts =
+      args.workers > 0 ? std::vector<int>{args.workers}
+                       : std::vector<int>{1, 2, 4, 8};
+
+  bench::print_environment_note("Figure 3: strong scaling of PINT");
+  std::printf("# scale=%.3g; cells: total seconds, (core seconds) when the "
+              "treap component dominates\n\n", scale);
+
+  std::printf("%-6s |", "bench");
+  for (int w : worker_counts) std::printf(" %13s%-2d", "core workers=", w);
+  std::printf("\n");
+
+  for (const auto& name : kernels) {
+    std::printf("%-6s |", name.c_str());
+    for (int w : worker_counts) {
+      RunSpec s;
+      s.kernel = name;
+      s.scale = scale;
+      s.reps = args.reps;
+      s.workers = w;
+      s.system = System::kPint;
+      const auto r = bench::run_spec(s);
+      const double total = double(r.stats.total_ns) * 1e-9;
+      const double core = double(r.stats.core_ns) * 1e-9;
+      if (total > core * 1.10) {
+        std::printf(" %7.3f(%5.3f)", total, core);
+      } else {
+        std::printf(" %7.3f%8s", total, "");
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces Figure 4: weak scaling of PINT.
+//
+// Worker count and problem size grow together, using the paper's per-kernel
+// growth rules: heat and sort double the problem size per worker doubling;
+// mmul scales the matrix dimension by 1.5x per doubling; stra doubles the
+// dimension per doubling.  Each cell shows baseline time (run on the same
+// number of workers), PINT time, and the overhead ratio - the paper's claim
+// is that the overhead stays flat (or shrinks) until the treap component
+// saturates.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hpp"
+
+using namespace pint;
+using bench::RunSpec;
+using bench::System;
+
+namespace {
+
+/// Work-scale factor for `w` workers relative to 1, per the paper's rules.
+/// Our KernelConfig::scale multiplies *work*, and the dense kernels map
+/// scale -> dimension via cbrt.
+double weak_scale(const std::string& kernel, int w, double base) {
+  const double doublings = std::log2(double(w));
+  if (kernel == "heat" || kernel == "sort") return base * double(w);
+  if (kernel == "mmul") return base * std::pow(1.5, 3.0 * doublings);
+  if (kernel == "stra") return base * std::pow(2.0, 3.0 * doublings);
+  return base * double(w);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args = bench::parse_args(argc, argv);
+  const double base_scale = args.scale > 0 ? args.scale : 2.0;
+  const std::vector<std::string> kernels =
+      args.kernels.empty()
+          ? std::vector<std::string>{"heat", "mmul", "sort", "stra"}
+          : args.kernels;
+  const std::vector<int> worker_counts =
+      args.workers > 0 ? std::vector<int>{args.workers}
+                       : std::vector<int>{1, 2, 4};
+
+  bench::print_environment_note("Figure 4: weak scaling of PINT");
+  std::printf("# base scale=%.3g at 1 worker; per-kernel growth rules as in "
+              "the paper\n\n", base_scale);
+
+  std::printf("%-6s %-9s |", "bench", "row");
+  for (int w : worker_counts) std::printf(" %10s=%-2d", "workers", w);
+  std::printf("\n");
+
+  for (const auto& name : kernels) {
+    std::vector<double> base_t, pint_t;
+    for (int w : worker_counts) {
+      RunSpec s;
+      s.kernel = name;
+      s.scale = weak_scale(name, w, base_scale);
+      s.reps = args.reps;
+      s.workers = w;
+      s.system = System::kBaseline;
+      base_t.push_back(bench::run_spec(s).seconds);
+      s.system = System::kPint;
+      pint_t.push_back(bench::run_spec(s).seconds);
+    }
+    std::printf("%-6s %-9s |", name.c_str(), "baseline");
+    for (double t : base_t) std::printf(" %12.3f", t);
+    std::printf("\n%-6s %-9s |", "", "PINT");
+    for (double t : pint_t) std::printf(" %12.3f", t);
+    std::printf("\n%-6s %-9s |", "", "overhead");
+    for (std::size_t i = 0; i < base_t.size(); ++i) {
+      std::printf(" %11.2fx", pint_t[i] / base_t[i]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n# overhead = PINT / baseline at the same worker count and "
+              "input size.\n");
+  return 0;
+}

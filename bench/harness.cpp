@@ -1,0 +1,128 @@
+#include "bench/harness.hpp"
+
+#include <cstring>
+#include <thread>
+
+#include "cracer/cracer_detector.hpp"
+#include "kernels/kernels.hpp"
+#include "pint/pint_detector.hpp"
+#include "runtime/scheduler.hpp"
+#include "stint/stint_detector.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace pint::bench {
+
+namespace {
+
+RunResult run_once(const RunSpec& spec) {
+  kernels::KernelConfig kc;
+  kc.scale = spec.scale;
+  kc.seed = spec.seed;
+  auto k = kernels::make_kernel(spec.kernel, kc);
+  k->prepare();
+
+  RunResult r;
+  switch (spec.system) {
+    case System::kBaseline: {
+      rt::Scheduler::Options so;
+      so.workers = spec.workers;
+      rt::Scheduler sched(so);
+      Timer t;
+      sched.run([&] { k->run(); });
+      r.seconds = t.elapsed_s();
+      break;
+    }
+    case System::kStint: {
+      stint::StintDetector::Options o;
+      o.coalesce = spec.coalesce;
+      o.seed = spec.seed;
+      stint::StintDetector d(o);
+      d.run([&] { k->run(); });
+      r.seconds = double(d.stats().total_ns.load()) * 1e-9;
+      r.races = d.reporter().distinct_races();
+      r.stats = d.stats().snapshot();
+      break;
+    }
+    case System::kPint:
+    case System::kPintSeq: {
+      pintd::PintDetector::Options o;
+      o.core_workers = spec.workers;
+      o.parallel_history = spec.system == System::kPint;
+      o.coalesce = spec.coalesce;
+      o.seed = spec.seed;
+      pintd::PintDetector d(o);
+      d.run([&] { k->run(); });
+      r.seconds = double(d.stats().total_ns.load()) * 1e-9;
+      r.races = d.reporter().distinct_races();
+      r.stats = d.stats().snapshot();
+      break;
+    }
+    case System::kCracer: {
+      cracer::CracerDetector::Options o;
+      o.workers = spec.workers;
+      o.seed = spec.seed;
+      cracer::CracerDetector d(o);
+      d.run([&] { k->run(); });
+      r.seconds = double(d.stats().total_ns.load()) * 1e-9;
+      r.races = d.reporter().distinct_races();
+      r.stats = d.stats().snapshot();
+      break;
+    }
+  }
+  r.verified = !spec.verify || k->verify();
+  return r;
+}
+
+}  // namespace
+
+RunResult run_spec(const RunSpec& spec) {
+  RunResult best;
+  for (int i = 0; i < spec.reps; ++i) {
+    RunResult r = run_once(spec);
+    PINT_CHECK_MSG(r.verified, "benchmark kernel verification failed");
+    PINT_CHECK_MSG(r.races == 0, "unexpected race reported on race-free kernel");
+    if (i == 0 || r.seconds < best.seconds) best = r;
+  }
+  return best;
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const char* s = argv[i];
+    auto next = [&]() -> const char* {
+      PINT_CHECK_MSG(i + 1 < argc, "missing flag value");
+      return argv[++i];
+    };
+    if (std::strcmp(s, "--scale") == 0) {
+      a.scale = std::atof(next());
+    } else if (std::strcmp(s, "--workers") == 0) {
+      a.workers = std::atoi(next());
+    } else if (std::strcmp(s, "--reps") == 0) {
+      a.reps = std::atoi(next());
+    } else if (std::strcmp(s, "--kernel") == 0) {
+      a.kernels.push_back(next());
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scale S] [--workers N] [--reps R] "
+                   "[--kernel NAME]...\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+void print_environment_note(const char* figure) {
+  std::printf("# %s\n", figure);
+  std::printf(
+      "# Host: %u hardware thread(s). The paper used 2x20-core Xeon Gold "
+      "6148;\n"
+      "# on this machine extra workers timeslice one core, so parallel\n"
+      "# speedups are bounded by 1 and the meaningful comparisons are the\n"
+      "# single-core work/overhead ratios (see DESIGN.md, substitutions).\n",
+      std::thread::hardware_concurrency());
+}
+
+}  // namespace pint::bench

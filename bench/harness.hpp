@@ -1,0 +1,56 @@
+#pragma once
+
+// Shared benchmark harness: runs a kernel under one of the four systems the
+// paper evaluates (baseline / STINT / PINT / C-RACER) and returns wall time
+// plus the detector's stats. Used by every figure-reproduction binary.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "detect/stats.hpp"
+
+namespace pint::bench {
+
+enum class System { kBaseline, kStint, kPint, kPintSeq, kCracer };
+
+struct RunSpec {
+  std::string kernel;
+  System system = System::kBaseline;
+  double scale = 1.0;
+  /// Workers executing the computation. For PINT these are core workers
+  /// (the three treap workers come on top, as in the paper's "P-3" setup).
+  int workers = 1;
+  bool coalesce = true;
+  std::uint64_t seed = 12345;
+  /// Repetitions; the minimum time is reported (paper uses the mean of 5;
+  /// min is steadier on a shared 1-CPU container).
+  int reps = 1;
+  bool verify = true;
+};
+
+struct RunResult {
+  double seconds = 0.0;            // best wall time of the detection run
+  std::uint64_t races = 0;         // distinct races reported (should be 0)
+  detect::Stats::Snapshot stats{}; // from the best rep (zeros for baseline)
+  bool verified = true;
+};
+
+/// Runs the spec; aborts on verification failure or unexpected races.
+RunResult run_spec(const RunSpec& spec);
+
+/// Command-line helpers shared by the figure binaries.
+struct Args {
+  double scale = -1.0;  // <0: binary default
+  int workers = -1;
+  int reps = 1;
+  std::vector<std::string> kernels;  // empty: binary default
+};
+Args parse_args(int argc, char** argv);
+
+/// Prints the standard header naming the machine constraints (1-CPU
+/// container vs the paper's 2x20-core Xeon).
+void print_environment_note(const char* figure);
+
+}  // namespace pint::bench

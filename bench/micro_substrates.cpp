@@ -1,0 +1,145 @@
+// Microbenchmarks for the remaining substrates: order maintenance, the
+// work-stealing deque, the access-history queue, and spawn/sync overhead.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "detect/strand.hpp"
+#include "om/order_maintenance.hpp"
+#include "pint/ah_queue.hpp"
+#include "runtime/deque.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/rng.hpp"
+
+using namespace pint;
+
+namespace {
+
+void BM_OmInsertAfterChain(benchmark::State& state) {
+  om::List l;
+  om::Item* cur = l.base();
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    cur = l.insert_after(cur);
+    ++n;
+  }
+  state.SetItemsProcessed(std::int64_t(n));
+}
+BENCHMARK(BM_OmInsertAfterChain);
+
+void BM_OmInsertAfterHotspot(benchmark::State& state) {
+  // Repeated insert-after-the-same-item: the worst case for tag gaps,
+  // forcing regular redistributions.
+  om::List l;
+  om::Item* pivot = l.insert_after(l.base());
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    l.insert_after(pivot);
+    ++n;
+  }
+  state.SetItemsProcessed(std::int64_t(n));
+}
+BENCHMARK(BM_OmInsertAfterHotspot);
+
+void BM_OmPrecedes(benchmark::State& state) {
+  om::List l;
+  std::vector<om::Item*> items{l.base()};
+  om::Item* cur = l.base();
+  for (int i = 0; i < (1 << 14); ++i) items.push_back(cur = l.insert_after(cur));
+  Xoshiro256 rng(3);
+  bool acc = false;
+  for (auto _ : state) {
+    const auto* a = items[rng.next_below(items.size())];
+    const auto* b = items[rng.next_below(items.size())];
+    acc ^= l.precedes(a, b);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_OmPrecedes);
+
+void BM_OmPrecedesUnderConcurrentInserts(benchmark::State& state) {
+  om::List l;
+  std::vector<om::Item*> items{l.base()};
+  om::Item* cur = l.base();
+  for (int i = 0; i < (1 << 12); ++i) items.push_back(cur = l.insert_after(cur));
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Xoshiro256 rng(5);
+    om::Item* w = l.base();
+    while (!stop.load(std::memory_order_relaxed)) {
+      w = l.insert_after(items[rng.next_below(items.size())]);
+      (void)w;
+    }
+  });
+  Xoshiro256 rng(7);
+  bool acc = false;
+  for (auto _ : state) {
+    const auto* a = items[rng.next_below(items.size())];
+    const auto* b = items[rng.next_below(items.size())];
+    acc ^= l.precedes(a, b);
+  }
+  stop.store(true);
+  writer.join();
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_OmPrecedesUnderConcurrentInserts);
+
+void BM_DequePushPop(benchmark::State& state) {
+  rt::WsDeque d;
+  auto* fake = reinterpret_cast<rt::TaskFrame*>(0x10);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    d.push(fake);
+    benchmark::DoNotOptimize(d.pop());
+    ++n;
+  }
+  state.SetItemsProcessed(std::int64_t(n));
+}
+BENCHMARK(BM_DequePushPop);
+
+void BM_AhQueuePushReclaim(benchmark::State& state) {
+  pintd::AhQueue q(1 << 10);
+  std::vector<detect::Strand> strands(1 << 10);
+  std::size_t i = 0;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    detect::Strand* s = &strands[i++ & ((1 << 10) - 1)];
+    s->consumers.store(0, std::memory_order_relaxed);
+    while (!q.try_push(s)) q.reclaim([](detect::Strand*) {});
+    ++n;
+  }
+  state.SetItemsProcessed(std::int64_t(n));
+}
+BENCHMARK(BM_AhQueuePushReclaim);
+
+void BM_SpawnSyncFib(benchmark::State& state) {
+  struct Fib {
+    static void go(int n, long* out) {
+      if (n < 2) {
+        *out = n;
+        return;
+      }
+      long a = 0, b = 0;
+      rt::SpawnScope sc;
+      sc.spawn([&] { go(n - 1, &a); });
+      go(n - 2, &b);
+      sc.sync();
+      *out = a + b;
+    }
+  };
+  rt::Scheduler::Options so;
+  so.workers = int(state.range(0));
+  for (auto _ : state) {
+    rt::Scheduler sched(so);
+    long r = 0;
+    sched.run([&] { Fib::go(20, &r); });
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SpawnSyncFib)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Microbenchmarks for the interval treap - the data-structure-level version
+// of the paper's access-history tradeoff: one treap operation covers a whole
+// interval, while a hashmap history pays per location.
+
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "support/rng.hpp"
+#include "treap/interval_treap.hpp"
+
+using namespace pint;
+
+namespace {
+
+treap::Accessor acc(std::uint64_t sid) { return {{}, sid}; }
+
+void BM_TreapInsertDisjoint(benchmark::State& state) {
+  const std::uint64_t span = 1 << 20;
+  std::uint64_t i = 0;
+  treap::IntervalTreap t;
+  for (auto _ : state) {
+    const std::uint64_t lo = (i * 64) % span;
+    t.insert_writer(lo, lo + 63, acc(i), [](auto, auto, const auto&) {});
+    ++i;
+  }
+  state.SetItemsProcessed(std::int64_t(i));
+}
+BENCHMARK(BM_TreapInsertDisjoint);
+
+void BM_TreapInsertOverlapping(benchmark::State& state) {
+  Xoshiro256 rng(7);
+  const std::uint64_t span = 1 << 20;
+  std::uint64_t i = 0;
+  treap::IntervalTreap t;
+  for (auto _ : state) {
+    const std::uint64_t lo = rng.next_below(span);
+    const std::uint64_t len = 1 + rng.next_below(512);
+    t.insert_writer(lo, lo + len, acc(i), [](auto, auto, const auto&) {});
+    ++i;
+  }
+  state.SetItemsProcessed(std::int64_t(i));
+}
+BENCHMARK(BM_TreapInsertOverlapping);
+
+void BM_TreapQuery(benchmark::State& state) {
+  treap::IntervalTreap t;
+  const std::uint64_t n = std::uint64_t(state.range(0));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    t.insert_writer(i * 64, i * 64 + 63, acc(i), [](auto, auto, const auto&) {});
+  }
+  Xoshiro256 rng(9);
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    const std::uint64_t lo = rng.next_below(n * 64);
+    t.query(lo, lo + 255, [&](auto, auto, const auto&) { ++hits; });
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_TreapQuery)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_TreapEraseRange(benchmark::State& state) {
+  Xoshiro256 rng(11);
+  treap::IntervalTreap t;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    // Keep the tree populated: insert 4, erase a larger random range.
+    for (int k = 0; k < 4; ++k, ++i) {
+      const std::uint64_t lo = rng.next_below(1 << 20);
+      t.insert_writer(lo, lo + 127, acc(i), [](auto, auto, const auto&) {});
+    }
+    const std::uint64_t lo = rng.next_below(1 << 20);
+    t.erase_range(lo, lo + 1023);
+  }
+}
+BENCHMARK(BM_TreapEraseRange);
+
+/// The per-location alternative: same coverage recorded into a hashmap with
+/// one entry per 8-byte granule (what C-RACER's shadow memory pays).
+void BM_HashmapPerGranuleInsert(benchmark::State& state) {
+  std::unordered_map<std::uint64_t, std::uint64_t> shadow;
+  Xoshiro256 rng(13);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::uint64_t lo = rng.next_below(1 << 20);
+    for (std::uint64_t g = lo / 8; g <= (lo + 511) / 8; ++g) shadow[g] = i;
+    ++i;
+  }
+  state.SetItemsProcessed(std::int64_t(i));
+}
+BENCHMARK(BM_HashmapPerGranuleInsert);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,215 @@
+#include "cracer/cracer_detector.hpp"
+
+#include <cstdlib>
+
+#include "detect/instrument.hpp"
+
+#include <atomic>
+
+namespace pint::cracer {
+
+namespace {
+/// Per-worker access counters (plain fields: one writer each).
+struct WsCount {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+/// Cell sids are probed without the cell lock (fast paths), so publication
+/// must be atomic. Stores happen under the lock; the probe is relaxed - a
+/// stale value only misses the fast path, never skips a needed update.
+std::uint64_t peek_sid(const AccessorRec& r) {
+  return std::atomic_ref<std::uint64_t>(const_cast<std::uint64_t&>(r.sid))
+      .load(std::memory_order_relaxed);
+}
+void set_rec(AccessorRec& dst, const AccessorRec& src) {
+  dst.label = src.label;
+  dst.tag = src.tag;
+  std::atomic_ref<std::uint64_t>(dst.sid).store(src.sid,
+                                                std::memory_order_relaxed);
+}
+}  // namespace
+
+CracerDetector::CracerDetector(const Options& opt)
+    : opt_(opt), shadow_(opt.shadow_table_pow2) {
+  rep_.set_verbose(opt_.verbose_races);
+}
+
+AccessorRec* CracerDetector::alloc_strand(const reach::Label& label,
+                                          const char* tag) {
+  LockGuard<Spinlock> g(arena_mu_);
+  arena_.push_back(
+      {label, next_sid_.fetch_add(1, std::memory_order_relaxed) + 1, tag});
+  strands_.fetch_add(1, std::memory_order_relaxed);
+  return &arena_.back();
+}
+
+// ---------------------------------------------------------------------------
+// Shadow-cell protocol (Mellor-Crummey '91 triple, WSP-Order reachability)
+// ---------------------------------------------------------------------------
+
+void CracerDetector::read_cell(ShadowCell& c, const AccessorRec& me) {
+  // Fast path: this strand is already recorded as a reader of the cell, so
+  // re-reading changes nothing (any conflicting writer since then reports
+  // the race from its own write_cell check).
+  if (peek_sid(c.lreader) == me.sid || peek_sid(c.rreader) == me.sid) return;
+  LockGuard<Spinlock> g(c.lock);
+  if (c.writer.sid != 0 && c.writer.sid != me.sid) {
+    stats_.reach_queries.fetch_add(1, std::memory_order_relaxed);
+    if (reach_.parallel(c.writer.label, me.label)) {
+      rep_.report(c.writer.sid, /*prev_write=*/true, me.sid,
+                  /*cur_write=*/false, 0, 0, c.writer.tag, me.tag);
+    }
+  }
+  if (c.lreader.sid == 0) {
+    set_rec(c.lreader, me);
+    set_rec(c.rreader, me);
+    return;
+  }
+  if (c.lreader.sid == me.sid || c.rreader.sid == me.sid) return;
+  stats_.reach_queries.fetch_add(2, std::memory_order_relaxed);
+  if (reach_.precedes(c.lreader.label, me.label) &&
+      reach_.precedes(c.rreader.label, me.label)) {
+    // In series after every recorded parallel reader: me replaces the set.
+    set_rec(c.lreader, me);
+    set_rec(c.rreader, me);
+    return;
+  }
+  // Otherwise keep the extremes in English (depth-first execution) order.
+  if (reach_.left_of(me.label, c.lreader.label)) set_rec(c.lreader, me);
+  if (reach_.left_of(c.rreader.label, me.label)) set_rec(c.rreader, me);
+}
+
+void CracerDetector::write_cell(ShadowCell& c, const AccessorRec& me) {
+  // Fast path: this strand is already the last writer; a repeated write
+  // changes nothing (conflicting readers/writers report from their side).
+  if (peek_sid(c.writer) == me.sid) return;
+  LockGuard<Spinlock> g(c.lock);
+  if (c.writer.sid != 0 && c.writer.sid != me.sid) {
+    stats_.reach_queries.fetch_add(1, std::memory_order_relaxed);
+    if (reach_.parallel(c.writer.label, me.label)) {
+      rep_.report(c.writer.sid, true, me.sid, true, 0, 0, c.writer.tag,
+                  me.tag);
+    }
+  }
+  if (c.lreader.sid != 0 && c.lreader.sid != me.sid) {
+    stats_.reach_queries.fetch_add(1, std::memory_order_relaxed);
+    if (reach_.parallel(c.lreader.label, me.label)) {
+      rep_.report(c.lreader.sid, false, me.sid, true, 0, 0, c.lreader.tag,
+                  me.tag);
+    }
+  }
+  if (c.rreader.sid != 0 && c.rreader.sid != me.sid &&
+      c.rreader.sid != c.lreader.sid) {
+    stats_.reach_queries.fetch_add(1, std::memory_order_relaxed);
+    if (reach_.parallel(c.rreader.label, me.label)) {
+      rep_.report(c.rreader.sid, false, me.sid, true, 0, 0, c.rreader.tag,
+                  me.tag);
+    }
+  }
+  set_rec(c.writer, me);
+}
+
+// ---------------------------------------------------------------------------
+// Memory events
+// ---------------------------------------------------------------------------
+
+void CracerDetector::on_access(rt::Worker& w, rt::TaskFrame& f,
+                               detect::addr_t lo, detect::addr_t hi,
+                               bool is_write) {
+  auto* me = static_cast<AccessorRec*>(f.det_strand);
+  PINT_ASSERT(me != nullptr);
+  auto* cnt = static_cast<WsCount*>(w.det_worker);
+  if (is_write) {
+    ++cnt->writes;
+    shadow_.for_cells(lo, hi, [&](ShadowCell& c) { write_cell(c, *me); });
+  } else {
+    ++cnt->reads;
+    shadow_.for_cells(lo, hi, [&](ShadowCell& c) { read_cell(c, *me); });
+  }
+}
+
+void CracerDetector::on_heap_free(rt::Worker&, rt::TaskFrame&, void* base,
+                                  detect::addr_t lo, detect::addr_t hi) {
+  // Synchronous detector: clear the history for the block, then free.
+  shadow_.clear_range(lo, hi);
+  std::free(base);
+}
+
+// ---------------------------------------------------------------------------
+// Control events (reachability labels only; no traces, no queues)
+// ---------------------------------------------------------------------------
+
+void CracerDetector::on_root_start(rt::Worker&, rt::TaskFrame& f) {
+  f.det_strand = alloc_strand(reach_.root_label(), f.task_name);
+}
+
+void CracerDetector::on_spawn(rt::Worker&, rt::TaskFrame& parent,
+                              rt::SyncBlock& blk, rt::TaskFrame& child) {
+  auto* u = static_cast<AccessorRec*>(parent.det_strand);
+  auto* j = static_cast<AccessorRec*>(blk.det_sync);
+  if (j == nullptr) {
+    j = alloc_strand({}, parent.task_name);
+    blk.det_sync = j;
+  }
+  const auto labels = reach_.on_spawn(u->label, &j->label);
+  child.det_strand = alloc_strand(labels.child, child.task_name);
+  parent.det_cont = alloc_strand(labels.cont, parent.task_name);
+}
+
+void CracerDetector::on_spawn_return(rt::Worker&, rt::TaskFrame& child, bool) {
+  // The spawned function's stack dies; clear it before the fiber is pooled
+  // (synchronously - the runtime reuses the fiber only after this returns).
+  shadow_.clear_range(child.fiber->stack_lo(), child.fiber->stack_hi() - 1);
+}
+
+void CracerDetector::on_continuation(rt::Worker&, rt::TaskFrame& parent, bool) {
+  PINT_ASSERT(parent.det_cont != nullptr);
+  parent.det_strand = parent.det_cont;
+  parent.det_cont = nullptr;
+}
+
+void CracerDetector::on_after_sync(rt::Worker&, rt::TaskFrame& f,
+                                   rt::SyncBlock& blk, bool) {
+  auto* j = static_cast<AccessorRec*>(blk.det_sync);
+  if (j == nullptr) return;
+  f.det_strand = j;
+  blk.det_sync = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Run
+// ---------------------------------------------------------------------------
+
+void CracerDetector::run(std::function<void()> fn) {
+  PINT_CHECK_MSG(!used_, "CracerDetector instances are single-use");
+  used_ = true;
+
+  rt::Scheduler::Options so;
+  so.workers = opt_.workers;
+  so.hooks = this;
+  so.stack_bytes = opt_.stack_bytes;
+  so.seed = opt_.seed;
+  rt::Scheduler sched(so);
+
+  std::vector<WsCount> counts(std::size_t(opt_.workers));
+  for (int i = 0; i < opt_.workers; ++i) {
+    sched.worker(i).det_worker = &counts[std::size_t(i)];
+  }
+
+  detect::set_active_detector(this);
+  Timer total;
+  sched.run([&] { fn(); });
+  stats_.total_ns.store(total.elapsed_ns());
+  stats_.core_ns.store(total.elapsed_ns());
+  detect::set_active_detector(nullptr);
+
+  for (const WsCount& c : counts) {
+    stats_.raw_reads.fetch_add(c.reads);
+    stats_.raw_writes.fetch_add(c.writes);
+  }
+  stats_.strands.store(strands_.load());
+  stats_.steals.store(sched.total_steals());
+}
+
+}  // namespace pint::cracer

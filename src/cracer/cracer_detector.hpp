@@ -1,0 +1,85 @@
+#pragma once
+
+// C-RACER baseline (Utterback et al., SPAA'16): the state-of-the-art
+// *parallel* race detector with conventional hashmap-style access history.
+//
+// Same reachability engine as PINT (WSP-Order / SP-order labels), but the
+// access history is shadow memory queried and updated *synchronously at
+// every memory access* - the cost profile PINT's interval-based history is
+// designed to beat.  Because checks are per-access, strands need no interval
+// buffers; each strand is just a label + id, allocated from an arena and
+// referenced by shadow cells for the rest of the run.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "cracer/shadow.hpp"
+#include "detect/detector.hpp"
+#include "detect/report.hpp"
+#include "detect/stats.hpp"
+#include "reach/sp_order.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/spinlock.hpp"
+#include "support/timer.hpp"
+
+namespace pint::cracer {
+
+class CracerDetector final : public detect::Detector,
+                             public rt::SchedulerHooks {
+ public:
+  struct Options {
+    int workers = 1;
+    std::size_t stack_bytes = std::size_t(1) << 18;
+    std::size_t shadow_table_pow2 = std::size_t(1) << 16;
+    bool verbose_races = false;
+    std::uint64_t seed = 42;
+  };
+
+  CracerDetector() : CracerDetector(Options{}) {}
+  explicit CracerDetector(const Options& opt);
+
+  /// Executes fn() in parallel under per-access race detection. Single-use.
+  void run(std::function<void()> fn);
+
+  detect::RaceReporter& reporter() { return rep_; }
+  const detect::Stats& stats() const { return stats_; }
+
+  // --- detect::Detector ---
+  void on_access(rt::Worker& w, rt::TaskFrame& f, detect::addr_t lo,
+                 detect::addr_t hi, bool is_write) override;
+  void on_heap_free(rt::Worker& w, rt::TaskFrame& f, void* base,
+                    detect::addr_t lo, detect::addr_t hi) override;
+  const char* name() const override { return "C-RACER"; }
+
+  // --- rt::SchedulerHooks ---
+  void on_root_start(rt::Worker& w, rt::TaskFrame& f) override;
+  void on_spawn(rt::Worker& w, rt::TaskFrame& parent, rt::SyncBlock& blk,
+                rt::TaskFrame& child) override;
+  void on_spawn_return(rt::Worker& w, rt::TaskFrame& child,
+                       bool continuation_stolen) override;
+  void on_continuation(rt::Worker& w, rt::TaskFrame& parent, bool stolen) override;
+  void on_after_sync(rt::Worker& w, rt::TaskFrame& f, rt::SyncBlock& blk,
+                     bool trivial) override;
+
+ private:
+  AccessorRec* alloc_strand(const reach::Label& label, const char* tag);
+  void read_cell(ShadowCell& c, const AccessorRec& me);
+  void write_cell(ShadowCell& c, const AccessorRec& me);
+
+  Options opt_;
+  reach::Engine reach_;
+  detect::RaceReporter rep_;
+  detect::Stats stats_;
+  ShadowMemory shadow_;
+
+  // Strand arena: labels/ids live in shadow cells for the whole run.
+  Spinlock arena_mu_;
+  std::deque<AccessorRec> arena_;
+  std::atomic<std::uint64_t> next_sid_{0};
+  std::atomic<std::uint64_t> strands_{0};
+  bool used_ = false;
+};
+
+}  // namespace pint::cracer

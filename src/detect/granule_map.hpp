@@ -1,0 +1,173 @@
+#pragma once
+
+// Per-granule hashmap access history - the conventional design the paper
+// contrasts with the interval treap, packaged with the SAME role semantics
+// so it can stand in for one of PINT's three treaps (or STINT's two).
+//
+// One map instance plays exactly one role: last-writer, left-most reader,
+// right-most reader, or serial reader. Like the treaps it is strictly
+// sequential - a single owner thread - so PINT's pipeline is unchanged and
+// benchmarking "treap vs hashmap under an identical asynchronous pipeline"
+// isolates the access-history data structure itself (ablation_history).
+//
+// Storage: open-addressing table from 8-byte granule to the accessor record,
+// growing by rehash at 70% load. Interval operations iterate the granules of
+// the range, which is precisely the per-location cost profile the paper's
+// interval coalescing is designed to avoid.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "treap/interval_treap.hpp"
+
+namespace pint::detect {
+
+class GranuleMap {
+ public:
+  static constexpr std::uint64_t kGranuleBytes = 8;
+
+  explicit GranuleMap(std::size_t capacity_pow2 = 1 << 12)
+      : mask_(capacity_pow2 - 1), slots_(capacity_pow2) {
+    PINT_CHECK_MSG((capacity_pow2 & mask_) == 0, "capacity must be a power of 2");
+  }
+
+  /// cb(granule_lo, granule_hi, accessor) for every granule of [lo, hi]
+  /// with a recorded accessor. Bounds reported at granule granularity.
+  template <class F>
+  void query(treap::addr_t lo, treap::addr_t hi, F&& cb) const {
+    std::uint64_t glo = lo / kGranuleBytes;
+    std::uint64_t ghi = hi / kGranuleBytes;
+    if (min_key_ > max_key_) return;
+    if (glo < min_key_) glo = min_key_;
+    if (ghi > max_key_) ghi = max_key_;
+    for (std::uint64_t g = glo; g <= ghi; ++g) {
+      const Slot* s = find(g);
+      if (s != nullptr) {
+        cb(g * kGranuleBytes, g * kGranuleBytes + kGranuleBytes - 1, s->who);
+      }
+    }
+  }
+
+  /// Last-writer semantics: report previous owners, then overwrite.
+  template <class F>
+  void insert_writer(treap::addr_t lo, treap::addr_t hi,
+                     const treap::Accessor& a, F&& cb) {
+    for (std::uint64_t g = lo / kGranuleBytes; g <= hi / kGranuleBytes; ++g) {
+      Slot* s = find_or_insert(g);
+      if (s->occupied) {
+        cb(g * kGranuleBytes, g * kGranuleBytes + kGranuleBytes - 1, s->who);
+      }
+      s->who = a;
+      s->occupied = true;
+    }
+  }
+
+  /// Reader semantics: per granule, resolve(prev, a) true => a wins.
+  template <class R>
+  void insert_reader(treap::addr_t lo, treap::addr_t hi,
+                     const treap::Accessor& a, R&& resolve) {
+    for (std::uint64_t g = lo / kGranuleBytes; g <= hi / kGranuleBytes; ++g) {
+      Slot* s = find_or_insert(g);
+      if (!s->occupied || resolve(s->who, a)) {
+        s->who = a;
+        s->occupied = true;
+      }
+    }
+  }
+
+  void erase_range(treap::addr_t lo, treap::addr_t hi) {
+    // Clamp to the granule range ever inserted: shadow stores skip unmapped
+    // regions, so clearing a (huge) never-touched stack range must be cheap.
+    std::uint64_t g = lo / kGranuleBytes;
+    std::uint64_t gend = hi / kGranuleBytes;
+    if (min_key_ > max_key_) return;  // empty map
+    if (g < min_key_) g = min_key_;
+    if (gend > max_key_) gend = max_key_;
+    for (; g <= gend; ++g) {
+      Slot* s = find_mutable(g);
+      if (s != nullptr) {
+        s->occupied = false;  // key stays: acts as a tombstone slot
+        --live_;
+      }
+    }
+  }
+
+  std::size_t size() const { return live_; }
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;  // granule + 1; 0 = never used
+    bool occupied = false;  // false with key != 0 = tombstone
+    treap::Accessor who;
+  };
+
+  static std::size_t hash(std::uint64_t g) {
+    std::uint64_t h = g * 0x9e3779b97f4a7c15ULL;
+    return std::size_t(h ^ (h >> 31));
+  }
+
+  const Slot* find(std::uint64_t g) const {
+    const std::uint64_t key = g + 1;
+    std::size_t i = hash(g) & mask_;
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.key == key) return s.occupied ? &s : nullptr;
+      if (s.key == 0) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+  Slot* find_mutable(std::uint64_t g) {
+    return const_cast<Slot*>(static_cast<const GranuleMap*>(this)->find(g));
+  }
+
+  Slot* find_or_insert(std::uint64_t g) {
+    if ((filled_ + 1) * 10 >= capacity() * 7) grow();
+    const std::uint64_t key = g + 1;
+    std::size_t i = hash(g) & mask_;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.key == key) {
+        if (!s.occupied) ++live_;  // will be revived by the caller
+        return &s;
+      }
+      if (s.key == 0) {
+        s.key = key;
+        ++filled_;
+        ++live_;
+        s.occupied = false;
+        if (g < min_key_) min_key_ = g;
+        if (g > max_key_) max_key_ = g;
+        return &s;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    mask_ = mask_ * 2 + 1;
+    slots_.assign(mask_ + 1, Slot{});
+    filled_ = 0;
+    live_ = 0;
+    for (const Slot& s : old) {
+      if (s.key == 0 || !s.occupied) continue;
+      std::size_t i = hash(s.key - 1) & mask_;
+      while (slots_[i].key != 0) i = (i + 1) & mask_;
+      slots_[i] = s;
+      ++filled_;
+      ++live_;
+    }
+  }
+
+  std::size_t mask_;
+  std::vector<Slot> slots_;
+  std::size_t filled_ = 0;  // slots with a key (incl. tombstones)
+  std::size_t live_ = 0;    // occupied slots
+  std::uint64_t min_key_ = ~std::uint64_t(0);  // observed granule bounds
+  std::uint64_t max_key_ = 0;
+};
+
+}  // namespace pint::detect

@@ -1,0 +1,112 @@
+#pragma once
+
+// Shared access-history processing: how one strand record is applied to a
+// writer / reader interval treap.  Used by all three of PINT's treap workers
+// and by STINT's synchronous processing - the semantics are identical, only
+// *when* and *on which thread* they run differs (paper §III-A).
+
+#include "detect/granule_map.hpp"
+#include "detect/report.hpp"
+#include "detect/stats.hpp"
+#include "detect/strand.hpp"
+#include "reach/sp_order.hpp"
+#include "treap/interval_treap.hpp"
+
+namespace pint::detect {
+
+/// Which reader the reader treap retains for each interval.
+enum class ReaderSide {
+  kLeftMost,   // parallel detection: first in English order
+  kRightMost,  // parallel detection: last in English order
+  kSerial,     // serial detection (STINT): replace only when in series
+};
+
+inline treap::Accessor accessor_of(const Strand& s) {
+  return {s.label, s.sid, s.tag};
+}
+
+/// Which backing store holds the access history. kTreap is the paper's
+/// design; kGranuleMap is the conventional per-location hashmap, kept as an
+/// ablation that isolates the data structure under the identical pipeline.
+enum class HistoryKind { kTreap, kGranuleMap };
+
+/// Overlap callback shared by every checking path: report a race when a
+/// prior accessor of the overlapped segment is parallel to `me`.
+/// `me` is captured by value; engine/reporter/stats by reference.
+inline auto make_conflict_cb(treap::Accessor me, bool prev_write,
+                             bool cur_write, reach::Engine& reach,
+                             RaceReporter& rep, Stats& stats) {
+  return [me, prev_write, cur_write, &reach, &rep, &stats](
+             addr_t lo, addr_t hi, const treap::Accessor& prev) {
+    if (prev.sid == me.sid) return;  // a strand cannot race with itself
+    stats.reach_queries.fetch_add(1, std::memory_order_relaxed);
+    if (reach.parallel(prev.label, me.label)) {
+      rep.report(prev.sid, prev_write, me.sid, cur_write, lo, hi, prev.tag,
+                 me.tag);
+    }
+  };
+}
+
+/// Reader-retention rule shared by reader inserts: the new reader wins when
+/// it is in series after the stored one, or is the side's extreme among
+/// parallel readers (stored readers are never DAG-successors of `me` thanks
+/// to DAG-conforming processing).
+inline auto make_reader_resolver(treap::Accessor me, reach::Engine& reach,
+                                 Stats& stats, ReaderSide side) {
+  return [me, &reach, &stats, side](const treap::Accessor& prev,
+                                    const treap::Accessor& cur) {
+    (void)cur;
+    if (prev.sid == me.sid) return false;
+    stats.reach_queries.fetch_add(1, std::memory_order_relaxed);
+    if (reach.precedes(prev.label, me.label)) return true;
+    switch (side) {
+      case ReaderSide::kLeftMost:
+        return reach.left_of(me.label, prev.label);
+      case ReaderSide::kRightMost:
+        return reach.left_of(prev.label, me.label);
+      case ReaderSide::kSerial:
+        return false;  // Feng-Leiserson rule: keep the old parallel reader
+    }
+    return false;
+  };
+}
+
+/// Reads checked against the last-writer history, then writes checked
+/// against and inserted into it (query-before-insert, per Theorem 5's
+/// proof), then clears applied. Works with any store exposing the treap's
+/// query/insert_writer/insert_reader/erase_range interface.
+template <class History>
+inline void process_writer_treap(History& t, const Strand& s,
+                                 reach::Engine& reach, RaceReporter& rep,
+                                 Stats& stats) {
+  const treap::Accessor me = accessor_of(s);
+  for (const Interval& r : s.reads.items()) {
+    t.query(r.lo, r.hi, make_conflict_cb(me, true, false, reach, rep, stats));
+  }
+  for (const Interval& w : s.writes.items()) {
+    t.insert_writer(w.lo, w.hi, me,
+                    make_conflict_cb(me, true, true, reach, rep, stats));
+  }
+  for (const Interval& c : s.clears) t.erase_range(c.lo, c.hi);
+  for (const HeapFree& f : s.frees) t.erase_range(f.lo, f.hi);
+}
+
+/// Writes checked against the reader history, then reads inserted with the
+/// side's retention rule, then clears applied.
+template <class History>
+inline void process_reader_treap(History& t, const Strand& s,
+                                 reach::Engine& reach, RaceReporter& rep,
+                                 Stats& stats, ReaderSide side) {
+  const treap::Accessor me = accessor_of(s);
+  for (const Interval& w : s.writes.items()) {
+    t.query(w.lo, w.hi, make_conflict_cb(me, false, true, reach, rep, stats));
+  }
+  const auto resolve = make_reader_resolver(me, reach, stats, side);
+  for (const Interval& r : s.reads.items()) {
+    t.insert_reader(r.lo, r.hi, me, resolve);
+  }
+  for (const Interval& c : s.clears) t.erase_range(c.lo, c.hi);
+  for (const HeapFree& f : s.frees) t.erase_range(f.lo, f.hi);
+}
+
+}  // namespace pint::detect

@@ -1,0 +1,79 @@
+#include "detect/instrument.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "detect/detector.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/assert.hpp"
+
+namespace pint {
+
+namespace {
+
+std::atomic<detect::Detector*> g_active{nullptr};
+
+// dmalloc header: remembers the user size so dfree knows the range to clear.
+struct BlockHeader {
+  std::size_t user_bytes;
+  std::uint64_t magic;
+};
+constexpr std::uint64_t kBlockMagic = 0xD17EC70BA110CULL;
+constexpr std::size_t kHeaderBytes = 16;
+static_assert(sizeof(BlockHeader) <= kHeaderBytes);
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_instrumentation_on{false};
+
+PINT_NOINLINE void record_access_slow(const void* p, std::size_t bytes,
+                                      bool write) {
+  detect::Detector* d = g_active.load(std::memory_order_relaxed);
+  if (d == nullptr || bytes == 0) return;
+  rt::Worker* w = rt::current_worker();
+  if (w == nullptr || w->current_frame() == nullptr) return;  // outside a run
+  const detect::addr_t lo = detect::addr_of(p);
+  d->on_access(*w, *w->current_frame(), lo, lo + bytes - 1, write);
+}
+
+}  // namespace detail
+
+namespace detect {
+void set_active_detector(Detector* d) {
+  g_active.store(d, std::memory_order_seq_cst);
+  detail::g_instrumentation_on.store(d != nullptr, std::memory_order_seq_cst);
+}
+Detector* active_detector() { return g_active.load(std::memory_order_relaxed); }
+}  // namespace detect
+
+void* dmalloc(std::size_t bytes) {
+  void* base = std::malloc(bytes + kHeaderBytes);
+  PINT_CHECK_MSG(base != nullptr, "dmalloc: out of memory");
+  auto* h = static_cast<BlockHeader*>(base);
+  h->user_bytes = bytes;
+  h->magic = kBlockMagic;
+  return static_cast<char*>(base) + kHeaderBytes;
+}
+
+void dfree(void* p) {
+  if (p == nullptr) return;
+  void* base = static_cast<char*>(p) - kHeaderBytes;
+  auto* h = static_cast<BlockHeader*>(base);
+  PINT_CHECK_MSG(h->magic == kBlockMagic, "dfree: not a dmalloc block");
+  h->magic = 0;
+  const std::size_t bytes = h->user_bytes;
+
+  detect::Detector* d = g_active.load(std::memory_order_relaxed);
+  rt::Worker* w = rt::current_worker();
+  if (d != nullptr && w != nullptr && w->current_frame() != nullptr &&
+      bytes > 0) {
+    const detect::addr_t lo = detect::addr_of(p);
+    d->on_heap_free(*w, *w->current_frame(), base, lo, lo + bytes - 1);
+    return;  // the detector owns the actual free now
+  }
+  std::free(base);
+}
+
+}  // namespace pint

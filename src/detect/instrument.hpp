@@ -1,0 +1,59 @@
+#pragma once
+
+// Instrumentation facade - what the Tapir compiler pass provides in the
+// paper's setup, exposed here as an explicit API the benchmark kernels call.
+//
+//   pint::record_read(p, n) / record_write(p, n)  - a memory access
+//   pint::dmalloc(n) / dfree(p)                   - detector-aware heap
+//
+// With no active detector every call is a cheap early-out, which is how the
+// "baseline" rows of the evaluation tables are measured (same binary, same
+// call sites, detection off).
+//
+// All functions are defined out-of-line (instrument.cpp): they read
+// thread-local state and must never be inlined across a spawn/sync where
+// the calling code can migrate between OS threads.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace pint {
+
+namespace detail {
+/// True while a detector is installed. Read inline so that the "baseline"
+/// configuration (detection off) pays only a predictable test-and-branch per
+/// call site, mirroring an uninstrumented build.
+extern std::atomic<bool> g_instrumentation_on;
+void record_access_slow(const void* p, std::size_t bytes, bool write);
+}  // namespace detail
+
+inline void record_read(const void* p, std::size_t bytes) {
+  if (!detail::g_instrumentation_on.load(std::memory_order_relaxed)) return;
+  detail::record_access_slow(p, bytes, false);
+}
+inline void record_write(const void* p, std::size_t bytes) {
+  if (!detail::g_instrumentation_on.load(std::memory_order_relaxed)) return;
+  detail::record_access_slow(p, bytes, true);
+}
+
+/// Typed helpers for single loads/stores.
+template <class T>
+inline T iload(const T& ref) {
+  record_read(&ref, sizeof(T));
+  return ref;
+}
+template <class T>
+inline void istore(T& ref, const T& v) {
+  record_write(&ref, sizeof(T));
+  ref = v;
+}
+
+/// Detector-aware heap allocation. dfree clears the block's access history
+/// (synchronously or deferred, per the active detector) before the memory
+/// can be reused; using plain free() under a detector risks false races
+/// through allocator reuse (paper §III-F).
+void* dmalloc(std::size_t bytes);
+void dfree(void* p);
+
+}  // namespace pint

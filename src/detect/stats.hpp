@@ -1,0 +1,58 @@
+#pragma once
+
+// Counters and component timings collected during a detection run.  The
+// work-breakdown fields (core/writer/lreader/rreader) feed the Fig. 2
+// harness directly.
+
+#include <atomic>
+#include <cstdint>
+
+namespace pint::detect {
+
+struct Stats {
+  // Access volume.
+  std::atomic<std::uint64_t> raw_reads{0};
+  std::atomic<std::uint64_t> raw_writes{0};
+  std::atomic<std::uint64_t> read_intervals{0};
+  std::atomic<std::uint64_t> write_intervals{0};
+
+  // Computation shape.
+  std::atomic<std::uint64_t> strands{0};
+  std::atomic<std::uint64_t> traces{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> reach_queries{0};
+
+  // Time, nanoseconds.
+  std::atomic<std::uint64_t> core_ns{0};     // core component (wall)
+  std::atomic<std::uint64_t> writer_ns{0};   // writer treap worker busy time
+  std::atomic<std::uint64_t> lreader_ns{0};  // left-most reader treap worker
+  std::atomic<std::uint64_t> rreader_ns{0};  // right-most reader treap worker
+  std::atomic<std::uint64_t> total_ns{0};    // whole detection run (wall)
+
+  void clear() {
+    raw_reads = raw_writes = read_intervals = write_intervals = 0;
+    strands = traces = steals = reach_queries = 0;
+    core_ns = writer_ns = lreader_ns = rreader_ns = total_ns = 0;
+  }
+
+  /// Plain-value snapshot for printing.
+  struct Snapshot {
+    std::uint64_t raw_reads, raw_writes, read_intervals, write_intervals;
+    std::uint64_t strands, traces, steals, reach_queries;
+    std::uint64_t core_ns, writer_ns, lreader_ns, rreader_ns, total_ns;
+    double coalesce_factor() const {
+      const auto raw = raw_reads + raw_writes;
+      const auto iv = read_intervals + write_intervals;
+      return iv == 0 ? 0.0 : double(raw) / double(iv);
+    }
+  };
+  Snapshot snapshot() const {
+    return {raw_reads.load(),      raw_writes.load(), read_intervals.load(),
+            write_intervals.load(), strands.load(),    traces.load(),
+            steals.load(),          reach_queries.load(), core_ns.load(),
+            writer_ns.load(),       lreader_ns.load(), rreader_ns.load(),
+            total_ns.load()};
+  }
+};
+
+}  // namespace pint::detect

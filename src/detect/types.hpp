@@ -1,0 +1,95 @@
+#pragma once
+
+// Shared value types for the race detectors: byte intervals, the runtime
+// access coalescer, and deferred-free records.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace pint::detect {
+
+using addr_t = std::uint64_t;
+
+/// Inclusive byte range [lo, hi].
+struct Interval {
+  addr_t lo = 0;
+  addr_t hi = 0;
+  bool operator==(const Interval&) const = default;
+};
+
+/// A heap block whose free() was deferred to the writer treap worker
+/// (paper §III-F): `base` is passed to ::free, [lo, hi] is the byte range to
+/// clear from the access history.
+struct HeapFree {
+  void* base = nullptr;
+  addr_t lo = 0;
+  addr_t hi = 0;
+};
+
+/// Runtime access coalescer (the STINT mechanism PINT reuses): an access
+/// that extends or overlaps one of the most recent intervals is merged on
+/// the fly - checking the last few entries (not just one) handles the
+/// interleaved access streams of real inner loops, e.g. B[k][j] / C[i][j] in
+/// a GEMM.  Everything that escapes the fast path is sort-merged when the
+/// strand ends.  This is what turns per-access instrumentation into
+/// per-interval access-history operations.
+class AccessBuffer {
+ public:
+  static constexpr std::size_t kTails = 4;
+
+  /// Records without any merging - the "no runtime coalescing" ablation.
+  void add_raw(addr_t lo, addr_t hi) {
+    PINT_ASSERT(lo <= hi);
+    items_.push_back({lo, hi});
+  }
+
+  void add(addr_t lo, addr_t hi) {
+    PINT_ASSERT(lo <= hi);
+    const std::size_t n = items_.size();
+    const std::size_t probes = n < kTails ? n : kTails;
+    for (std::size_t t = 0; t < probes; ++t) {
+      Interval& b = items_[n - 1 - t];
+      if (lo >= b.lo && lo <= b.hi + 1) {  // extends / overlaps this stream
+        if (hi > b.hi) b.hi = hi;
+        return;
+      }
+    }
+    items_.push_back({lo, hi});
+  }
+
+  /// Sort-merge all buffered intervals in place. After this, items() is a
+  /// minimal sorted set of disjoint intervals. When `coalesce` is false the
+  /// buffer is left exactly as recorded (ablation mode: every access becomes
+  /// its own access-history operation, modulo the tail fast path).
+  void finalize(bool coalesce = true) {
+    if (!coalesce || items_.size() <= 1) return;
+    std::sort(items_.begin(), items_.end(),
+              [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+    std::size_t out = 0;
+    for (std::size_t i = 1; i < items_.size(); ++i) {
+      if (items_[i].lo <= items_[out].hi + 1) {
+        items_[out].hi = std::max(items_[out].hi, items_[i].hi);
+      } else {
+        items_[++out] = items_[i];
+      }
+    }
+    items_.resize(out + 1);
+  }
+
+  const std::vector<Interval>& items() const { return items_; }
+  bool empty() const { return items_.empty(); }
+  std::size_t raw_count() const { return items_.size(); }
+  void clear() { items_.clear(); }
+
+ private:
+  std::vector<Interval> items_;
+};
+
+inline addr_t addr_of(const void* p) {
+  return reinterpret_cast<addr_t>(p);
+}
+
+}  // namespace pint::detect

@@ -1,0 +1,223 @@
+// chol: blocked recursive dense Cholesky factorization A = L * L^T (lower),
+// in place.
+//
+//   chol(A11); A21 <- A21 * L11^-T (trsm, rows in parallel);
+//   A22 -= A21 * A21^T (syrk, quadrants in parallel); chol(A22)
+//
+// The seeded-race variant runs trsm and syrk concurrently, so syrk reads
+// A21 while trsm is still writing it.
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "kernels/dense.hpp"
+#include "kernels/kernels.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace pint::kernels {
+
+namespace {
+
+constexpr std::size_t kCholBase = 16;
+
+/// In-place lower Cholesky of an n x n block (n <= kCholBase).
+void potrf_base(Block A, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    double* rj = A.row(j);
+    double d = rj[j];
+    touch_read(&rj[j], 1);
+    for (std::size_t k = 0; k < j; ++k) {
+      touch_read(&rj[k], 1);
+      d -= rj[k] * rj[k];
+    }
+    d = std::sqrt(d);
+    rj[j] = d;
+    touch_write(&rj[j], 1);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double* ri = A.row(i);
+      touch_read(&ri[j], 1);
+      double v = ri[j];
+      for (std::size_t k = 0; k < j; ++k) {
+        touch_read(&ri[k], 1);
+        touch_read(&rj[k], 1);
+        v -= ri[k] * rj[k];
+      }
+      ri[j] = v / d;
+      touch_write(&ri[j], 1);
+    }
+  }
+}
+
+/// B (m x n) <- B * L^-T where L (n x n) is lower triangular: row-parallel
+/// forward substitution.
+void trsm_rec(Block B, Block L, std::size_t m, std::size_t n) {
+  if (m <= kCholBase) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double* bi = B.row(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        const double* lj = L.row(j);
+        touch_read(&bi[j], 1);
+        double v = bi[j];
+        for (std::size_t k = 0; k < j; ++k) {
+          touch_read(&bi[k], 1);
+          touch_read(&lj[k], 1);
+          v -= bi[k] * lj[k];
+        }
+        touch_read(&lj[j], 1);
+        bi[j] = v / lj[j];
+        touch_write(&bi[j], 1);
+      }
+    }
+    return;
+  }
+  const std::size_t h = m / 2;
+  rt::SpawnScope sc;
+  sc.spawn([=] { trsm_rec(B, L, h, n); });
+  trsm_rec({B.row(h), B.ld}, L, m - h, n);
+  sc.sync();
+}
+
+/// C (m x n, with only j <= global lower triangle used) -= A * B^T where
+/// A is m x k and B is n x k. Quadrants recurse in parallel.
+void gemm_nt_rec(Block C, Block A, Block B, std::size_t m, std::size_t n,
+                 std::size_t k) {
+  if (m <= kCholBase && n <= kCholBase) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double v = 0.0;
+        const double *ai = A.row(i), *bj = B.row(j);
+        for (std::size_t t = 0; t < k; ++t) {
+          touch_read(&ai[t], 1);
+          touch_read(&bj[t], 1);
+          v += ai[t] * bj[t];
+        }
+        touch_read(&C.row(i)[j], 1);
+        touch_write(&C.row(i)[j], 1);
+        C.row(i)[j] -= v;
+      }
+    }
+    return;
+  }
+  if (m >= n) {
+    const std::size_t h = m / 2;
+    rt::SpawnScope sc;
+    sc.spawn([=] { gemm_nt_rec(C, A, B, h, n, k); });
+    gemm_nt_rec({C.row(h), C.ld}, {A.row(h), A.ld}, B, m - h, n, k);
+    sc.sync();
+  } else {
+    const std::size_t h = n / 2;
+    rt::SpawnScope sc;
+    sc.spawn([=] { gemm_nt_rec(C, A, B, m, h, k); });
+    gemm_nt_rec({C.base + h, C.ld}, A, {B.row(h), B.ld}, m, n - h, k);
+    sc.sync();
+  }
+}
+
+/// C (n x n, lower) -= A * A^T where A is n x k.
+void syrk_rec(Block C, Block A, std::size_t n, std::size_t k) {
+  if (n <= kCholBase) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        double v = 0.0;
+        const double *ai = A.row(i), *aj = A.row(j);
+        for (std::size_t t = 0; t < k; ++t) {
+          touch_read(&ai[t], 1);
+          touch_read(&aj[t], 1);
+          v += ai[t] * aj[t];
+        }
+        touch_read(&C.row(i)[j], 1);
+        touch_write(&C.row(i)[j], 1);
+        C.row(i)[j] -= v;
+      }
+    }
+    return;
+  }
+  const std::size_t h = n / 2;
+  rt::SpawnScope sc;
+  sc.spawn([=] { syrk_rec(C, A, h, k); });
+  sc.spawn([=] {
+    gemm_nt_rec({C.row(h), C.ld}, {A.row(h), A.ld}, A, n - h, h, k);
+  });
+  syrk_rec({C.row(h) + h, C.ld}, {A.row(h), A.ld}, n - h, k);
+  sc.sync();
+}
+
+void chol_rec(Block A, std::size_t n, bool racy) {
+  if (n <= kCholBase) {
+    potrf_base(A, n);
+    return;
+  }
+  const std::size_t h = n / 2;
+  const Block A11 = A;
+  const Block A21 = {A.row(h), A.ld};
+  const Block A22 = {A.row(h) + h, A.ld};
+  chol_rec(A11, h, racy);
+  if (racy) {
+    // Seeded race: syrk reads A21 concurrently with trsm writing it.
+    rt::SpawnScope sc;
+    sc.spawn([=] { trsm_rec(A21, A11, h, h); });
+    syrk_rec(A22, A21, h, h);
+    sc.sync();
+  } else {
+    trsm_rec(A21, A11, h, h);
+    syrk_rec(A22, A21, h, h);
+  }
+  chol_rec(A22, h, racy);
+}
+
+class CholKernel final : public KernelInstance {
+ public:
+  explicit CholKernel(const KernelConfig& cfg) : cfg_(cfg) {
+    const double target = 128.0 * std::cbrt(cfg.scale);
+    n_ = 2 * kCholBase;
+    while (n_ * 2 <= std::size_t(target + 0.5)) n_ *= 2;
+  }
+  const char* name() const override { return "chol"; }
+  std::string config_string() const override {
+    return "n=" + std::to_string(n_) + " b=" + std::to_string(kCholBase);
+  }
+  void prepare() override {
+    Xoshiro256 rng(cfg_.seed);
+    Matrix m(n_, n_);
+    m.fill_random(rng, -1.0, 1.0);
+    a_ = Matrix(n_, n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        double v = 0.0;
+        for (std::size_t k = 0; k < n_; ++k) v += m.at(i, k) * m.at(j, k);
+        a_.at(i, j) = v;
+        a_.at(j, i) = v;
+      }
+      a_.at(i, i) += double(n_);  // strongly SPD
+    }
+    orig_ = a_;
+  }
+  void run() override { chol_rec({a_.row(0), n_}, n_, cfg_.seeded_race); }
+  bool verify() override {
+    Xoshiro256 rng(cfg_.seed ^ 0xc401);
+    for (int t = 0; t < 48; ++t) {
+      std::size_t i = rng.next_below(n_);
+      std::size_t j = rng.next_below(n_);
+      if (j > i) std::swap(i, j);
+      double v = 0.0;
+      for (std::size_t k = 0; k <= j; ++k) v += a_.at(i, k) * a_.at(j, k);
+      if (!nearly_equal(v, orig_.at(i, j), 1e-6)) return false;
+    }
+    return true;
+  }
+
+ private:
+  KernelConfig cfg_;
+  std::size_t n_;
+  Matrix a_, orig_;
+};
+
+}  // namespace
+
+std::unique_ptr<KernelInstance> make_chol(const KernelConfig& cfg) {
+  return std::make_unique<CholKernel>(cfg);
+}
+
+}  // namespace pint::kernels

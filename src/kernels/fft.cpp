@@ -1,0 +1,145 @@
+// fft: parallel out-of-place Cooley-Tukey (decimation in time) on strided
+// views, as in cache-oblivious FFT codes.
+//
+// The leaf gathers read STRIDED elements - one 8-byte record each, with a
+// gap of stride*8 bytes between consecutive records - so runtime coalescing
+// buys almost nothing here.  Together with single-precision data (one
+// complex<float> = one shadow granule) this reproduces the paper's fft
+// result: the interval-based history loses its advantage and C-RACER's
+// per-access shadow memory wins (§IV-A).
+//
+// The seeded-race variant gives sibling recursions overlapping output
+// halves.
+
+#include <cmath>
+#include <complex>
+#include <memory>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "detect/instrument.hpp"
+#include "kernels/kernels.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace pint::kernels {
+
+namespace {
+
+// Single precision, as in the paper's fft (it reports 4-byte accesses):
+// one complex<float> is exactly one 8-byte shadow granule.
+using cplx = std::complex<float>;
+constexpr std::size_t kFftBase = 128;
+
+/// Iterative in-place radix-2 FFT over a contiguous buffer (no
+/// instrumentation: callers record the whole range once).
+void fft_contiguous(cplx* a, std::size_t n, bool inverse) {
+  // bit reversal
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * std::numbers::pi / double(len);
+    const cplx wl(float(std::cos(ang)), float(std::sin(ang)));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0f, 0.0f);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = a[i + k];
+        const cplx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+}
+
+/// out[0..n) = FFT of in[0], in[stride], in[2*stride], ...
+void fft_rec(const cplx* in, std::size_t stride, cplx* out, std::size_t n,
+             bool racy) {
+  if (n <= kFftBase) {
+    // Strided gather: one tiny record per element - the anti-coalescing
+    // access pattern this benchmark exists to exercise.
+    for (std::size_t i = 0; i < n; ++i) {
+      record_read(&in[i * stride], sizeof(cplx));
+      out[i] = in[i * stride];
+    }
+    record_write(out, n * sizeof(cplx));
+    fft_contiguous(out, n, false);
+    return;
+  }
+  const std::size_t h = n / 2;
+  const std::size_t right_off = racy ? h - 1 : h;  // seeded overlap
+  rt::SpawnScope sc;
+  sc.spawn([=] { fft_rec(in, 2 * stride, out, h, racy); });
+  fft_rec(in + stride, 2 * stride, out + right_off, h, racy);
+  sc.sync();
+  // Butterfly combine, instrumented per element as a compiler pass would
+  // (each iteration touches two locations h elements apart, so the records
+  // alternate between two far-apart streams).
+  const double ang = -2.0 * std::numbers::pi / double(n);
+  const cplx wl(float(std::cos(ang)), float(std::sin(ang)));
+  cplx w(1.0f, 0.0f);
+  for (std::size_t k = 0; k < h; ++k) {
+    record_read(&out[k], sizeof(cplx));
+    record_read(&out[h + k], sizeof(cplx));
+    record_write(&out[k], sizeof(cplx));
+    record_write(&out[h + k], sizeof(cplx));
+    const cplx u = out[k];
+    const cplx v = out[h + k] * w;
+    out[k] = u + v;
+    out[h + k] = u - v;
+    w *= wl;
+  }
+}
+
+class FftKernel final : public KernelInstance {
+ public:
+  explicit FftKernel(const KernelConfig& cfg) : cfg_(cfg) {
+    const double target = double(1 << 14) * cfg.scale;
+    n_ = 2 * kFftBase;
+    while (n_ * 2 <= std::size_t(target + 0.5)) n_ *= 2;
+  }
+  const char* name() const override { return "fft"; }
+  std::string config_string() const override {
+    return "n=" + std::to_string(n_) + " b=" + std::to_string(kFftBase);
+  }
+  void prepare() override {
+    Xoshiro256 rng(cfg_.seed);
+    in_.resize(n_);
+    out_.assign(n_, cplx{});
+    for (cplx& v : in_) {
+      v = cplx(float(rng.next_double() - 0.5), float(rng.next_double() - 0.5));
+    }
+  }
+  void run() override { fft_rec(in_.data(), 1, out_.data(), n_, cfg_.seeded_race); }
+  bool verify() override {
+    // Inverse-transform the output (serially, uninstrumented) and compare.
+    std::vector<cplx> back = out_;
+    fft_contiguous(back.data(), n_, /*inverse=*/true);
+    Xoshiro256 rng(cfg_.seed ^ 0xfff7);
+    for (int t = 0; t < 64; ++t) {
+      const std::size_t i = rng.next_below(n_);
+      const cplx v = back[i] / float(n_);
+      if (std::abs(v - in_[i]) > 2e-3f * (1.0f + std::abs(in_[i]))) return false;
+    }
+    return true;
+  }
+
+ private:
+  KernelConfig cfg_;
+  std::size_t n_;
+  std::vector<cplx> in_, out_;
+};
+
+}  // namespace
+
+std::unique_ptr<KernelInstance> make_fft(const KernelConfig& cfg) {
+  return std::make_unique<FftKernel>(cfg);
+}
+
+}  // namespace pint::kernels

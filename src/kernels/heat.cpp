@@ -1,0 +1,133 @@
+// heat: Jacobi 5-point stencil time-stepping on a 2D grid.
+//
+// Each step recursively splits the interior rows into parallel strips; a
+// base case reads three full source rows per output row and writes one
+// destination row (all full-row intervals, the friendliest case for the
+// interval history).  Buffers swap between steps on the root strand.
+//
+// The seeded-race variant updates the grid IN PLACE, so neighbouring strips
+// race on their boundary rows (read vs write of the same row).
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/instrument.hpp"
+#include "kernels/kernels.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace pint::kernels {
+
+namespace {
+
+constexpr std::size_t kRowBase = 8;
+
+void stencil_rows(const double* src, double* dst, std::size_t ny,
+                  std::size_t r0, std::size_t r1) {
+  if (r1 - r0 <= kRowBase) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const double* up = src + (i - 1) * ny;
+      const double* mid = src + i * ny;
+      const double* dn = src + (i + 1) * ny;
+      double* out = dst + i * ny;
+      record_read(up, ny * sizeof(double));
+      record_read(mid, ny * sizeof(double));
+      record_read(dn, ny * sizeof(double));
+      record_write(out, ny * sizeof(double));
+      out[0] = mid[0];
+      out[ny - 1] = mid[ny - 1];
+      for (std::size_t j = 1; j + 1 < ny; ++j) {
+        out[j] = 0.25 * (up[j] + dn[j] + mid[j - 1] + mid[j + 1]);
+      }
+    }
+    return;
+  }
+  const std::size_t mid = r0 + (r1 - r0) / 2;
+  rt::SpawnScope sc;
+  sc.spawn([=] { stencil_rows(src, dst, ny, r0, mid); });
+  stencil_rows(src, dst, ny, mid, r1);
+  sc.sync();
+}
+
+class HeatKernel final : public KernelInstance {
+ public:
+  explicit HeatKernel(const KernelConfig& cfg) : cfg_(cfg) {
+    const double lin = std::sqrt(cfg.scale);
+    nx_ = std::size_t(128.0 * lin);
+    ny_ = std::size_t(128.0 * lin);
+    if (nx_ < 4 * kRowBase) nx_ = 4 * kRowBase;
+    if (ny_ < 16) ny_ = 16;
+    steps_ = 50;
+  }
+  const char* name() const override { return "heat"; }
+  std::string config_string() const override {
+    return "nx=" + std::to_string(nx_) + " ny=" + std::to_string(ny_) +
+           " steps=" + std::to_string(steps_) + " b=" + std::to_string(kRowBase);
+  }
+  void prepare() override {
+    Xoshiro256 rng(cfg_.seed);
+    cur_.assign(nx_ * ny_, 0.0);
+    nxt_.assign(nx_ * ny_, 0.0);
+    for (double& v : cur_) v = rng.next_double();
+    initial_ = cur_;
+  }
+  void run() override {
+    double* a = cur_.data();
+    double* b = cfg_.seeded_race ? cur_.data() : nxt_.data();  // in-place = racy
+    for (std::size_t s = 0; s < steps_; ++s) {
+      // Boundary rows are Dirichlet: copy them once per step.
+      if (a != b) {
+        record_read(a, ny_ * sizeof(double));
+        record_write(b, ny_ * sizeof(double));
+        std::copy(a, a + ny_, b);
+        const std::size_t last = (nx_ - 1) * ny_;
+        record_read(a + last, ny_ * sizeof(double));
+        record_write(b + last, ny_ * sizeof(double));
+        std::copy(a + last, a + last + ny_, b + last);
+      }
+      stencil_rows(a, b, ny_, 1, nx_ - 1);
+      std::swap(a, b);
+    }
+    result_ = (steps_ % 2 == 0 || cfg_.seeded_race) ? 0 : 1;  // which buffer holds the result
+  }
+  bool verify() override {
+    // Serial uninstrumented recomputation from the saved initial state.
+    std::vector<double> a = initial_, b(nx_ * ny_, 0.0);
+    for (std::size_t s = 0; s < steps_; ++s) {
+      std::copy(a.begin(), a.begin() + ny_, b.begin());
+      std::copy(a.end() - ny_, a.end(), b.end() - ny_);
+      for (std::size_t i = 1; i + 1 < nx_; ++i) {
+        const double *up = &a[(i - 1) * ny_], *mid = &a[i * ny_],
+                     *dn = &a[(i + 1) * ny_];
+        double* out = &b[i * ny_];
+        out[0] = mid[0];
+        out[ny_ - 1] = mid[ny_ - 1];
+        for (std::size_t j = 1; j + 1 < ny_; ++j) {
+          out[j] = 0.25 * (up[j] + dn[j] + mid[j - 1] + mid[j + 1]);
+        }
+      }
+      std::swap(a, b);
+    }
+    const std::vector<double>& got = result_ == 0 ? cur_ : nxt_;
+    for (std::size_t i = 0; i < nx_ * ny_; ++i) {
+      if (!(std::fabs(a[i] - got[i]) <= 1e-9)) return false;
+    }
+    return true;
+  }
+
+ private:
+  KernelConfig cfg_;
+  std::size_t nx_, ny_, steps_;
+  std::vector<double> cur_, nxt_, initial_;
+  int result_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<KernelInstance> make_heat(const KernelConfig& cfg) {
+  return std::make_unique<HeatKernel>(cfg);
+}
+
+}  // namespace pint::kernels

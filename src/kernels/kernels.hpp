@@ -1,0 +1,52 @@
+#pragma once
+
+// The paper's benchmark suite: seven task-parallel kernels (§IV), written
+// against the runtime's spawn/sync API with explicit instrumentation calls
+// (our substitute for the Tapir compiler pass - see DESIGN.md §3).
+//
+// Each kernel is created by the factory with a `scale` knob (1.0 = this
+// repo's default benchmarking size; the paper's sizes are ~10-100x larger
+// and are impractical on a single-core container) and an optional
+// `seeded_race` variant that omits one synchronization/partitioning step so
+// tests can verify every detector flags it.
+//
+// Protocol:
+//   auto k = make_kernel("mmul", 1.0);
+//   k->prepare();                    // allocate + fill inputs (outside timing)
+//   detector.run([&]{ k->run(); });  // the parallel, instrumented part
+//   PINT_CHECK(k->verify());         // numerical correctness
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pint::kernels {
+
+class KernelInstance {
+ public:
+  virtual ~KernelInstance() = default;
+  virtual const char* name() const = 0;
+  /// Allocates and initialises inputs; idempotent per instance.
+  virtual void prepare() = 0;
+  /// The parallel computation; must run inside a scheduler (detector.run).
+  virtual void run() = 0;
+  /// Checks the numerical result of the last run().
+  virtual bool verify() = 0;
+  /// One-line human description of the configured problem size.
+  virtual std::string config_string() const = 0;
+};
+
+struct KernelConfig {
+  double scale = 1.0;
+  bool seeded_race = false;
+  std::uint64_t seed = 12345;
+};
+
+/// Factory. Names: chol, sort, fft, heat, mmul, stra, straz.
+std::unique_ptr<KernelInstance> make_kernel(const std::string& name,
+                                            const KernelConfig& cfg = {});
+
+/// All seven benchmark names, in the paper's table order.
+const std::vector<std::string>& kernel_names();
+
+}  // namespace pint::kernels

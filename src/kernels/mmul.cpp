@@ -1,0 +1,97 @@
+// mmul: cache-oblivious divide-and-conquer matrix multiplication C = A * B.
+//
+// Each recursion level splits into two serialized phases of four parallel
+// quadrant updates (the two phases accumulate into the same C quadrants, so
+// they must not overlap - the seeded-race variant runs them concurrently).
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "kernels/dense.hpp"
+#include "kernels/kernels.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace pint::kernels {
+
+namespace {
+
+constexpr std::size_t kBase = 16;
+
+void mmul_rec(Block C, Block A, Block B, std::size_t n, bool racy) {
+  if (n <= kBase) {
+    gemm_base(C, A, B, n);
+    return;
+  }
+  const std::size_t h = n / 2;
+  rt::SpawnScope sc;
+  // Phase 1: C_ij += A_i0 * B_0j
+  sc.spawn([=] { mmul_rec(C.quad(0, 0, h), A.quad(0, 0, h), B.quad(0, 0, h), h, racy); });
+  sc.spawn([=] { mmul_rec(C.quad(0, 1, h), A.quad(0, 0, h), B.quad(0, 1, h), h, racy); });
+  sc.spawn([=] { mmul_rec(C.quad(1, 0, h), A.quad(1, 0, h), B.quad(0, 0, h), h, racy); });
+  mmul_rec(C.quad(1, 1, h), A.quad(1, 0, h), B.quad(0, 1, h), h, racy);
+  if (!racy) sc.sync();  // racy variant: phase 2 overlaps phase 1 on C
+  // Phase 2: C_ij += A_i1 * B_1j
+  sc.spawn([=] { mmul_rec(C.quad(0, 0, h), A.quad(0, 1, h), B.quad(1, 0, h), h, racy); });
+  sc.spawn([=] { mmul_rec(C.quad(0, 1, h), A.quad(0, 1, h), B.quad(1, 1, h), h, racy); });
+  sc.spawn([=] { mmul_rec(C.quad(1, 0, h), A.quad(1, 1, h), B.quad(1, 0, h), h, racy); });
+  mmul_rec(C.quad(1, 1, h), A.quad(1, 1, h), B.quad(1, 1, h), h, racy);
+  // implicit sync in ~SpawnScope
+}
+
+class MmulKernel final : public KernelInstance {
+ public:
+  explicit MmulKernel(const KernelConfig& cfg) : cfg_(cfg) {
+    double target = 128.0 * std::cbrt(cfg.scale);
+    n_ = kBase;
+    while (n_ * 2 <= std::size_t(target + 0.5)) n_ *= 2;
+    if (n_ < 2 * kBase) n_ = 2 * kBase;
+  }
+
+  const char* name() const override { return "mmul"; }
+  std::string config_string() const override {
+    return "n=" + std::to_string(n_) + " b=" + std::to_string(kBase);
+  }
+
+  void prepare() override {
+    Xoshiro256 rng(cfg_.seed);
+    a_ = Matrix(n_, n_);
+    b_ = Matrix(n_, n_);
+    c_ = Matrix(n_, n_);
+    a_.fill_random(rng);
+    b_.fill_random(rng);
+  }
+
+  void run() override {
+    mmul_rec({c_.row(0), n_}, {a_.row(0), n_}, {b_.row(0), n_}, n_,
+             cfg_.seeded_race);
+  }
+
+  bool verify() override {
+    Xoshiro256 rng(cfg_.seed ^ 0xabcdef);
+    for (int t = 0; t < 32; ++t) {
+      const std::size_t i = rng.next_below(n_);
+      const std::size_t j = rng.next_below(n_);
+      double ref = 0.0;
+      for (std::size_t k = 0; k < n_; ++k) ref += a_.at(i, k) * b_.at(k, j);
+      if (!nearly_equal(ref, c_.at(i, j))) return false;
+    }
+    return true;
+  }
+
+ private:
+  KernelConfig cfg_;
+  std::size_t n_;
+  Matrix a_, b_, c_;
+};
+
+}  // namespace
+
+std::unique_ptr<KernelInstance> make_mmul(const KernelConfig& cfg) {
+  return std::make_unique<MmulKernel>(cfg);
+}
+
+}  // namespace pint::kernels

@@ -1,0 +1,34 @@
+#include "kernels/kernels.hpp"
+
+#include "support/assert.hpp"
+
+namespace pint::kernels {
+
+std::unique_ptr<KernelInstance> make_chol(const KernelConfig&);
+std::unique_ptr<KernelInstance> make_sort(const KernelConfig&);
+std::unique_ptr<KernelInstance> make_fft(const KernelConfig&);
+std::unique_ptr<KernelInstance> make_heat(const KernelConfig&);
+std::unique_ptr<KernelInstance> make_mmul(const KernelConfig&);
+std::unique_ptr<KernelInstance> make_stra(const KernelConfig&);
+std::unique_ptr<KernelInstance> make_straz(const KernelConfig&);
+
+std::unique_ptr<KernelInstance> make_kernel(const std::string& name,
+                                            const KernelConfig& cfg) {
+  if (name == "chol") return make_chol(cfg);
+  if (name == "sort") return make_sort(cfg);
+  if (name == "fft") return make_fft(cfg);
+  if (name == "heat") return make_heat(cfg);
+  if (name == "mmul") return make_mmul(cfg);
+  if (name == "stra") return make_stra(cfg);
+  if (name == "straz") return make_straz(cfg);
+  PINT_CHECK_MSG(false, "unknown kernel name");
+  return nullptr;
+}
+
+const std::vector<std::string>& kernel_names() {
+  static const std::vector<std::string> names = {
+      "chol", "heat", "mmul", "sort", "stra", "straz", "fft"};
+  return names;
+}
+
+}  // namespace pint::kernels

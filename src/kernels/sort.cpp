@@ -1,0 +1,138 @@
+// sort: parallel mergesort with a parallel divide-and-conquer merge.
+//
+// Halves sort in parallel, then merge into a temp buffer via recursive
+// binary-search splitting, then copy back in parallel.  Instrumentation is
+// one record per contiguous range a base case touches.
+//
+// The seeded-race variant makes the merge split point off by one, so two
+// parallel merge sub-tasks write an overlapping output element.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/instrument.hpp"
+#include "kernels/kernels.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace pint::kernels {
+
+namespace {
+
+using key_t = std::int64_t;
+constexpr std::size_t kSortBase = 2048;
+constexpr std::size_t kMergeBase = 2048;
+
+void touch_r(const key_t* p, std::size_t n) {
+  if (n) record_read(p, n * sizeof(key_t));
+}
+void touch_w(const key_t* p, std::size_t n) {
+  if (n) record_write(p, n * sizeof(key_t));
+}
+
+void merge_rec(const key_t* x, std::size_t nx, const key_t* y, std::size_t ny,
+               key_t* out, bool racy) {
+  if (nx + ny <= kMergeBase) {
+    touch_r(x, nx);
+    touch_r(y, ny);
+    touch_w(out, nx + ny);
+    std::merge(x, x + nx, y, y + ny, out);
+    return;
+  }
+  if (nx < ny) {  // split the larger side
+    merge_rec(y, ny, x, nx, out, racy);
+    return;
+  }
+  const std::size_t mx = nx / 2;
+  const key_t pivot = x[mx];
+  touch_r(&x[mx], 1);
+  const std::size_t my = std::size_t(
+      std::lower_bound(y, y + ny, pivot) - y);
+  touch_r(y, ny == 0 ? 0 : my + 1 > ny ? ny : my + 1);
+  // Seeded race: the right half also writes out[mx+my] (overlap of one).
+  const std::size_t right_off = racy && mx + my > 0 ? mx + my - 1 : mx + my;
+  rt::SpawnScope sc;
+  sc.spawn([=] { merge_rec(x, mx, y, my, out, racy); });
+  merge_rec(x + mx, nx - mx, y + my, ny - my, out + right_off, racy);
+  sc.sync();
+}
+
+void copy_range(const key_t* src, key_t* dst, std::size_t n) {
+  constexpr std::size_t kCopyBase = 4096;
+  if (n <= kCopyBase) {
+    touch_r(src, n);
+    touch_w(dst, n);
+    std::copy(src, src + n, dst);
+    return;
+  }
+  rt::SpawnScope sc;
+  sc.spawn([=] { copy_range(src, dst, n / 2); });
+  copy_range(src + n / 2, dst + n / 2, n - n / 2);
+  sc.sync();
+}
+
+void msort(key_t* a, key_t* tmp, std::size_t n, bool racy) {
+  if (n <= kSortBase) {
+    touch_r(a, n);
+    touch_w(a, n);
+    std::sort(a, a + n);
+    return;
+  }
+  const std::size_t h = n / 2;
+  rt::SpawnScope sc;
+  sc.spawn([=] { msort(a, tmp, h, racy); });
+  msort(a + h, tmp + h, n - h, racy);
+  sc.sync();
+  merge_rec(a, h, a + h, n - h, tmp, racy);
+  sc.sync();
+  copy_range(tmp, a, n);
+}
+
+class SortKernel final : public KernelInstance {
+ public:
+  explicit SortKernel(const KernelConfig& cfg) : cfg_(cfg) {
+    n_ = std::size_t(double(1 << 17) * cfg.scale);
+    if (n_ < 4 * kSortBase) n_ = 4 * kSortBase;
+  }
+  const char* name() const override { return "sort"; }
+  std::string config_string() const override {
+    return "n=" + std::to_string(n_) + " b=" + std::to_string(kSortBase);
+  }
+  void prepare() override {
+    Xoshiro256 rng(cfg_.seed);
+    data_.resize(n_);
+    tmp_.assign(n_, 0);
+    checksum_ = 0;
+    for (key_t& v : data_) {
+      v = key_t(rng.next());
+      checksum_ += std::uint64_t(v);
+    }
+  }
+  void run() override { msort(data_.data(), tmp_.data(), n_, cfg_.seeded_race); }
+  bool verify() override {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (i > 0 && data_[i - 1] > data_[i]) return false;
+      sum += std::uint64_t(data_[i]);
+    }
+    return sum == checksum_;
+  }
+
+ private:
+  KernelConfig cfg_;
+  std::size_t n_;
+  std::vector<key_t> data_, tmp_;
+  std::uint64_t checksum_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<KernelInstance> make_sort(const KernelConfig& cfg) {
+  return std::make_unique<SortKernel>(cfg);
+}
+
+}  // namespace pint::kernels

@@ -1,0 +1,371 @@
+// stra / straz: Strassen's matrix multiplication, C += A * B.
+//
+// The seven recursive products run in parallel, each into a dmalloc'd
+// temporary (this is the suite's heavy exerciser of PINT's deferred-free
+// machinery); the quadrant combines run as four parallel accumulations.
+//
+// Two memory layouts, as in the paper:
+//   stra  - plain row-major (interval = one row segment)
+//   straz - Morton-style tiled layout: contiguous kTile x kTile tiles, so a
+//           base-case operand is a single large interval
+// The layout is a template policy so both kernels share one recursion.
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "detect/instrument.hpp"
+#include "kernels/dense.hpp"
+#include "kernels/kernels.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace pint::kernels {
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Layout policies
+// --------------------------------------------------------------------------
+
+struct RowMajorPolicy {
+  using Blk = Block;
+  /// Units are elements per side; stop recursion at 32x32.
+  static constexpr std::size_t kStop = 32;
+
+  static Blk quad(Blk b, std::size_t qi, std::size_t qj, std::size_t half) {
+    return b.quad(qi, qj, half);
+  }
+  static Blk alloc_temp(std::size_t h) {
+    auto* p = static_cast<double*>(dmalloc(h * h * sizeof(double)));
+    std::memset(p, 0, h * h * sizeof(double));
+    touch_write(p, h * h);
+    return {p, h};
+  }
+  static void free_temp(Blk b) { dfree(b.base); }
+
+  static void add2(Blk d, Blk x, Blk y, double sign, std::size_t h) {
+    for (std::size_t i = 0; i < h; ++i) {
+      const double *xr = x.row(i), *yr = y.row(i);
+      double* dr = d.row(i);
+      for (std::size_t j = 0; j < h; ++j) {
+        touch_read(&xr[j], 1);
+        touch_read(&yr[j], 1);
+        touch_write(&dr[j], 1);
+        dr[j] = xr[j] + sign * yr[j];
+      }
+    }
+  }
+  static void accum(Blk c, Blk m, double sign, std::size_t h) {
+    for (std::size_t i = 0; i < h; ++i) {
+      const double* mr = m.row(i);
+      double* cr = c.row(i);
+      for (std::size_t j = 0; j < h; ++j) {
+        touch_read(&mr[j], 1);
+        touch_read(&cr[j], 1);
+        touch_write(&cr[j], 1);
+        cr[j] += sign * mr[j];
+      }
+    }
+  }
+  static void base_mul(Blk c, Blk a, Blk b, std::size_t n) {
+    gemm_base(c, a, b, n);
+  }
+};
+
+struct TiledPolicy {
+  static constexpr std::size_t kTile = 16;
+  static constexpr std::size_t kTileElems = kTile * kTile;
+  /// Units are tiles per side; stop at a 2x2 tile grid.
+  static constexpr std::size_t kStop = 2;
+
+  struct Blk {
+    double* base;     // first tile of the block
+    std::size_t tld;  // leading dimension, in tiles
+  };
+
+  static double* tile(Blk b, std::size_t ti, std::size_t tj) {
+    return b.base + (ti * b.tld + tj) * kTileElems;
+  }
+  static Blk quad(Blk b, std::size_t qi, std::size_t qj, std::size_t half) {
+    return {b.base + (qi * half * b.tld + qj * half) * kTileElems, b.tld};
+  }
+  static Blk alloc_temp(std::size_t t) {
+    auto* p = static_cast<double*>(dmalloc(t * t * kTileElems * sizeof(double)));
+    std::memset(p, 0, t * t * kTileElems * sizeof(double));
+    touch_write(p, t * t * kTileElems);
+    return {p, t};
+  }
+  static void free_temp(Blk b) { dfree(b.base); }
+
+  static void add2(Blk d, Blk x, Blk y, double sign, std::size_t t) {
+    for (std::size_t ti = 0; ti < t; ++ti) {
+      for (std::size_t tj = 0; tj < t; ++tj) {
+        const double *xt = tile(x, ti, tj), *yt = tile(y, ti, tj);
+        double* dt = tile(d, ti, tj);
+        for (std::size_t e = 0; e < kTileElems; ++e) {
+          touch_read(&xt[e], 1);
+          touch_read(&yt[e], 1);
+          touch_write(&dt[e], 1);
+          dt[e] = xt[e] + sign * yt[e];
+        }
+      }
+    }
+  }
+  static void accum(Blk c, Blk m, double sign, std::size_t t) {
+    for (std::size_t ti = 0; ti < t; ++ti) {
+      for (std::size_t tj = 0; tj < t; ++tj) {
+        const double* mt = tile(m, ti, tj);
+        double* ct = tile(c, ti, tj);
+        for (std::size_t e = 0; e < kTileElems; ++e) {
+          touch_read(&mt[e], 1);
+          touch_read(&ct[e], 1);
+          touch_write(&ct[e], 1);
+          ct[e] += sign * mt[e];
+        }
+      }
+    }
+  }
+  static void base_mul(Blk c, Blk a, Blk b, std::size_t t) {
+    for (std::size_t ti = 0; ti < t; ++ti) {
+      for (std::size_t tj = 0; tj < t; ++tj) {
+        double* ct = tile(c, ti, tj);
+        for (std::size_t tk = 0; tk < t; ++tk) {
+          const double* at = tile(a, ti, tk);
+          const double* bt = tile(b, tk, tj);
+          for (std::size_t i = 0; i < kTile; ++i) {
+            for (std::size_t k = 0; k < kTile; ++k) {
+              touch_read(&at[i * kTile + k], 1);
+              const double av = at[i * kTile + k];
+              const double* br = bt + k * kTile;
+              double* cr = ct + i * kTile;
+              for (std::size_t j = 0; j < kTile; ++j) {
+                touch_read(&br[j], 1);
+                touch_read(&cr[j], 1);
+                touch_write(&cr[j], 1);
+                cr[j] += av * br[j];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+};
+
+// --------------------------------------------------------------------------
+// Layout-generic Strassen recursion
+// --------------------------------------------------------------------------
+
+template <class P>
+void strassen_rec(typename P::Blk C, typename P::Blk A, typename P::Blk B,
+                  std::size_t n, bool racy) {
+  if (n <= P::kStop) {
+    P::base_mul(C, A, B, n);
+    return;
+  }
+  const std::size_t h = n / 2;
+  const auto A11 = P::quad(A, 0, 0, h), A12 = P::quad(A, 0, 1, h);
+  const auto A21 = P::quad(A, 1, 0, h), A22 = P::quad(A, 1, 1, h);
+  const auto B11 = P::quad(B, 0, 0, h), B12 = P::quad(B, 0, 1, h);
+  const auto B21 = P::quad(B, 1, 0, h), B22 = P::quad(B, 1, 1, h);
+  const auto C11 = P::quad(C, 0, 0, h), C12 = P::quad(C, 0, 1, h);
+  const auto C21 = P::quad(C, 1, 0, h), C22 = P::quad(C, 1, 1, h);
+
+  const auto m1 = P::alloc_temp(h);
+  // Seeded race: M2's product shares M1's buffer while both run in parallel.
+  const auto m2 = racy ? m1 : P::alloc_temp(h);
+  const auto m3 = P::alloc_temp(h), m4 = P::alloc_temp(h);
+  const auto m5 = P::alloc_temp(h), m6 = P::alloc_temp(h);
+  const auto m7 = P::alloc_temp(h);
+
+  rt::SpawnScope sc;
+  sc.spawn([=] {  // M1 = (A11 + A22)(B11 + B22)
+    auto sa = P::alloc_temp(h), sb = P::alloc_temp(h);
+    P::add2(sa, A11, A22, +1, h);
+    P::add2(sb, B11, B22, +1, h);
+    strassen_rec<P>(m1, sa, sb, h, racy);
+    P::free_temp(sa);
+    P::free_temp(sb);
+  });
+  sc.spawn([=] {  // M2 = (A21 + A22) B11
+    auto sa = P::alloc_temp(h);
+    P::add2(sa, A21, A22, +1, h);
+    strassen_rec<P>(m2, sa, B11, h, racy);
+    P::free_temp(sa);
+  });
+  sc.spawn([=] {  // M3 = A11 (B12 - B22)
+    auto sb = P::alloc_temp(h);
+    P::add2(sb, B12, B22, -1, h);
+    strassen_rec<P>(m3, A11, sb, h, racy);
+    P::free_temp(sb);
+  });
+  sc.spawn([=] {  // M4 = A22 (B21 - B11)
+    auto sb = P::alloc_temp(h);
+    P::add2(sb, B21, B11, -1, h);
+    strassen_rec<P>(m4, A22, sb, h, racy);
+    P::free_temp(sb);
+  });
+  sc.spawn([=] {  // M5 = (A11 + A12) B22
+    auto sa = P::alloc_temp(h);
+    P::add2(sa, A11, A12, +1, h);
+    strassen_rec<P>(m5, sa, B22, h, racy);
+    P::free_temp(sa);
+  });
+  sc.spawn([=] {  // M6 = (A21 - A11)(B11 + B12)
+    auto sa = P::alloc_temp(h), sb = P::alloc_temp(h);
+    P::add2(sa, A21, A11, -1, h);
+    P::add2(sb, B11, B12, +1, h);
+    strassen_rec<P>(m6, sa, sb, h, racy);
+    P::free_temp(sa);
+    P::free_temp(sb);
+  });
+  {  // M7 = (A12 - A22)(B21 + B22), on the spawning strand
+    auto sa = P::alloc_temp(h), sb = P::alloc_temp(h);
+    P::add2(sa, A12, A22, -1, h);
+    P::add2(sb, B21, B22, +1, h);
+    strassen_rec<P>(m7, sa, sb, h, racy);
+    P::free_temp(sa);
+    P::free_temp(sb);
+  }
+  sc.sync();
+
+  sc.spawn([=] {  // C11 += M1 + M4 - M5 + M7
+    P::accum(C11, m1, +1, h);
+    P::accum(C11, m4, +1, h);
+    P::accum(C11, m5, -1, h);
+    P::accum(C11, m7, +1, h);
+  });
+  sc.spawn([=] {  // C12 += M3 + M5
+    P::accum(C12, m3, +1, h);
+    P::accum(C12, m5, +1, h);
+  });
+  sc.spawn([=] {  // C21 += M2 + M4
+    P::accum(C21, m2, +1, h);
+    P::accum(C21, m4, +1, h);
+  });
+  {  // C22 += M1 - M2 + M3 + M6
+    P::accum(C22, m1, +1, h);
+    P::accum(C22, m2, -1, h);
+    P::accum(C22, m3, +1, h);
+    P::accum(C22, m6, +1, h);
+  }
+  sc.sync();
+
+  P::free_temp(m1);
+  if (!racy) P::free_temp(m2);
+  P::free_temp(m3);
+  P::free_temp(m4);
+  P::free_temp(m5);
+  P::free_temp(m6);
+  P::free_temp(m7);
+}
+
+std::size_t scaled_n(double scale) {
+  const double target = 128.0 * std::cbrt(scale);
+  std::size_t n = 64;
+  while (n * 2 <= std::size_t(target + 0.5)) n *= 2;
+  return n;
+}
+
+// --------------------------------------------------------------------------
+// stra (row-major)
+// --------------------------------------------------------------------------
+
+class StraKernel final : public KernelInstance {
+ public:
+  explicit StraKernel(const KernelConfig& cfg) : cfg_(cfg), n_(scaled_n(cfg.scale)) {}
+  const char* name() const override { return "stra"; }
+  std::string config_string() const override {
+    return "n=" + std::to_string(n_) + " b=" + std::to_string(RowMajorPolicy::kStop);
+  }
+  void prepare() override {
+    Xoshiro256 rng(cfg_.seed);
+    a_ = Matrix(n_, n_);
+    b_ = Matrix(n_, n_);
+    c_ = Matrix(n_, n_);
+    a_.fill_random(rng);
+    b_.fill_random(rng);
+  }
+  void run() override {
+    strassen_rec<RowMajorPolicy>({c_.row(0), n_}, {a_.row(0), n_},
+                                 {b_.row(0), n_}, n_, cfg_.seeded_race);
+  }
+  bool verify() override {
+    Xoshiro256 rng(cfg_.seed ^ 0x5757);
+    for (int t = 0; t < 32; ++t) {
+      const std::size_t i = rng.next_below(n_), j = rng.next_below(n_);
+      double ref = 0.0;
+      for (std::size_t k = 0; k < n_; ++k) ref += a_.at(i, k) * b_.at(k, j);
+      if (!nearly_equal(ref, c_.at(i, j), 1e-5)) return false;
+    }
+    return true;
+  }
+
+ private:
+  KernelConfig cfg_;
+  std::size_t n_;
+  Matrix a_, b_, c_;
+};
+
+// --------------------------------------------------------------------------
+// straz (tiled / Morton-style layout)
+// --------------------------------------------------------------------------
+
+class StrazKernel final : public KernelInstance {
+ public:
+  explicit StrazKernel(const KernelConfig& cfg) : cfg_(cfg), n_(scaled_n(cfg.scale)) {
+    tiles_ = n_ / TiledPolicy::kTile;
+  }
+  const char* name() const override { return "straz"; }
+  std::string config_string() const override {
+    return "n=" + std::to_string(n_) +
+           " tile=" + std::to_string(TiledPolicy::kTile);
+  }
+  void prepare() override {
+    Xoshiro256 rng(cfg_.seed);
+    const std::size_t total = n_ * n_;
+    a_.assign(total, 0.0);
+    b_.assign(total, 0.0);
+    c_.assign(total, 0.0);
+    for (double& v : a_) v = -1.0 + 2.0 * rng.next_double();
+    for (double& v : b_) v = -1.0 + 2.0 * rng.next_double();
+  }
+  void run() override {
+    strassen_rec<TiledPolicy>({c_.data(), tiles_}, {a_.data(), tiles_},
+                              {b_.data(), tiles_}, tiles_, cfg_.seeded_race);
+  }
+  bool verify() override {
+    Xoshiro256 rng(cfg_.seed ^ 0x5a5a);
+    for (int t = 0; t < 32; ++t) {
+      const std::size_t i = rng.next_below(n_), j = rng.next_below(n_);
+      double ref = 0.0;
+      for (std::size_t k = 0; k < n_; ++k) ref += tat(a_, i, k) * tat(b_, k, j);
+      if (!nearly_equal(ref, tat(c_, i, j), 1e-5)) return false;
+    }
+    return true;
+  }
+
+ private:
+  double tat(const std::vector<double>& m, std::size_t i, std::size_t j) const {
+    constexpr std::size_t kT = TiledPolicy::kTile;
+    const std::size_t ti = i / kT, tj = j / kT;
+    return m[(ti * tiles_ + tj) * TiledPolicy::kTileElems + (i % kT) * kT +
+             (j % kT)];
+  }
+  KernelConfig cfg_;
+  std::size_t n_, tiles_;
+  std::vector<double> a_, b_, c_;
+};
+
+}  // namespace
+
+std::unique_ptr<KernelInstance> make_stra(const KernelConfig& cfg) {
+  return std::make_unique<StraKernel>(cfg);
+}
+std::unique_ptr<KernelInstance> make_straz(const KernelConfig& cfg) {
+  return std::make_unique<StrazKernel>(cfg);
+}
+
+}  // namespace pint::kernels

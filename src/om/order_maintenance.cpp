@@ -1,0 +1,241 @@
+#include "om/order_maintenance.hpp"
+
+#include <cstdint>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace pint::om {
+
+namespace {
+constexpr std::uint64_t kMaxTag = std::numeric_limits<std::uint64_t>::max();
+}
+
+List::List() {
+  Group* g = alloc_group();
+  g->tag.store(kMaxTag / 2, std::memory_order_relaxed);
+  head_ = g;
+  Item* it = alloc_item();
+  it->group.store(g, std::memory_order_relaxed);
+  it->subtag.store(kAppendGap, std::memory_order_relaxed);
+  g->first = g->last = it;
+  g->count = 1;
+  base_ = it;
+  size_.store(1, std::memory_order_relaxed);
+}
+
+List::~List() {
+  for (Item* c : item_chunks_) delete[] c;
+  for (Group* c : group_chunks_) delete[] c;
+}
+
+Item* List::alloc_item() {
+  LockGuard<Spinlock> g(arena_lock_);
+  std::size_t used = item_used_.load(std::memory_order_relaxed);
+  if (used == kChunk) {
+    item_chunks_.push_back(new Item[kChunk]);
+    used = 0;
+  }
+  item_used_.store(used + 1, std::memory_order_relaxed);
+  return &item_chunks_.back()[used];
+}
+
+Group* List::alloc_group() {
+  LockGuard<Spinlock> g(arena_lock_);
+  std::size_t used = group_used_.load(std::memory_order_relaxed);
+  if (used == kChunk) {
+    group_chunks_.push_back(new Group[kChunk]);
+    used = 0;
+  }
+  group_used_.store(used + 1, std::memory_order_relaxed);
+  return &group_chunks_.back()[used];
+}
+
+Item* List::insert_after(Item* x) {
+  Item* y = alloc_item();
+  for (;;) {
+    Group* g = x->group.load(std::memory_order_acquire);
+    g->lock.lock();
+    if (x->group.load(std::memory_order_relaxed) != g) {
+      g->lock.unlock();  // x migrated during a split; chase it
+      continue;
+    }
+
+    const Item* nxt0 = x->next;
+    const std::uint64_t xs0 = x->subtag.load(std::memory_order_relaxed);
+    const bool no_gap =
+        nxt0 ? (nxt0->subtag.load(std::memory_order_relaxed) - xs0 < 2)
+             : (xs0 >= kMaxTag - 1);
+    if (g->count >= kMaxGroupItems || no_gap) {
+      g = make_gap(g, x);  // returns the (locked) group now holding x
+    }
+
+    Item* nxt = x->next;
+    const std::uint64_t xs = x->subtag.load(std::memory_order_relaxed);
+    std::uint64_t tag;
+    if (nxt == nullptr) {
+      tag = (xs <= kMaxTag - kAppendGap) ? xs + kAppendGap
+                                         : xs + (kMaxTag - xs) / 2;
+    } else {
+      tag = xs + (nxt->subtag.load(std::memory_order_relaxed) - xs) / 2;
+    }
+    PINT_ASSERT(tag > xs);
+    PINT_ASSERT(nxt == nullptr ||
+                tag < nxt->subtag.load(std::memory_order_relaxed));
+
+    // y is invisible to queries until the caller publishes it, so relaxed
+    // stores suffice here; the publication edge provides the ordering.
+    y->subtag.store(tag, std::memory_order_relaxed);
+    y->group.store(g, std::memory_order_relaxed);
+    y->prev = x;
+    y->next = nxt;
+    if (nxt)
+      nxt->prev = y;
+    else
+      g->last = y;
+    x->next = y;
+    ++g->count;
+    g->lock.unlock();
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return y;
+  }
+}
+
+Group* List::make_gap(Group* g, Item* x) {
+  // Open the structural-mutation window: queries retry while version is odd.
+  const std::uint64_t v = version_.load(std::memory_order_relaxed);
+  version_.store(v + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+
+  Group* holder = g;
+  if (g->count >= kMaxGroupItems) {
+    // Split: move the upper half of g into a fresh group placed right after
+    // g in the top-level list.
+    Group* ng = alloc_group();
+    ng->lock.lock();  // must be held before any item points at ng
+
+    top_lock_.lock();
+    Group* after = g->next;
+    std::uint64_t lo = g->tag.load(std::memory_order_relaxed);
+    std::uint64_t hi = after ? after->tag.load(std::memory_order_relaxed) : kMaxTag;
+    if (hi - lo < 2) {
+      relabel_top();
+      lo = g->tag.load(std::memory_order_relaxed);
+      hi = after ? after->tag.load(std::memory_order_relaxed) : kMaxTag;
+      PINT_CHECK_MSG(hi - lo >= 2, "top-level tag space exhausted");
+    }
+    ng->tag.store(lo + (hi - lo) / 2, std::memory_order_relaxed);
+    ng->prev = g;
+    ng->next = after;
+    if (after) after->prev = ng;
+    g->next = ng;
+    top_lock_.unlock();
+
+    // Find the split point (keep the lower half in g).
+    std::uint32_t keep = g->count / 2;
+    Item* mid = g->first;
+    for (std::uint32_t i = 1; i < keep; ++i) mid = mid->next;
+    Item* moved = mid->next;
+    mid->next = nullptr;
+    ng->first = moved;
+    ng->last = g->last;
+    g->last = mid;
+    moved->prev = nullptr;
+    ng->count = g->count - keep;
+    g->count = keep;
+
+    std::uint64_t t = kAppendGap;
+    for (Item* it = moved; it; it = it->next, t += kAppendGap) {
+      it->group.store(ng, std::memory_order_relaxed);
+      it->subtag.store(t, std::memory_order_relaxed);
+    }
+    t = kAppendGap;
+    for (Item* it = g->first; it; it = it->next, t += kAppendGap) {
+      it->subtag.store(t, std::memory_order_relaxed);
+    }
+
+    if (x->group.load(std::memory_order_relaxed) == ng) {
+      g->lock.unlock();
+      holder = ng;
+    } else {
+      ng->lock.unlock();
+    }
+  } else {
+    // Local subtag redistribution: plenty of 64-bit space for <= 64 items.
+    std::uint64_t t = kAppendGap;
+    for (Item* it = g->first; it; it = it->next, t += kAppendGap) {
+      it->subtag.store(t, std::memory_order_relaxed);
+    }
+  }
+
+  std::atomic_thread_fence(std::memory_order_release);
+  version_.store(v + 2, std::memory_order_release);
+  return holder;
+}
+
+void List::relabel_top() {
+  // Caller holds top_lock_ and the seqlock window is already open.
+  std::size_t n = 0;
+  for (Group* g = head_; g; g = g->next) ++n;
+  const std::uint64_t spacing = kMaxTag / (n + 2);
+  PINT_CHECK_MSG(spacing >= 2, "too many OM groups to relabel");
+  std::uint64_t t = spacing;
+  for (Group* g = head_; g; g = g->next, t += spacing) {
+    g->tag.store(t, std::memory_order_relaxed);
+  }
+}
+
+bool List::precedes(const Item* a, const Item* b) const {
+  if (a == b) return false;
+  Backoff bo;
+  for (;;) {
+    const std::uint64_t v1 = version_.load(std::memory_order_acquire);
+    if (v1 & 1) {
+      bo.pause();
+      continue;
+    }
+    const Group* ga = a->group.load(std::memory_order_relaxed);
+    const Group* gb = b->group.load(std::memory_order_relaxed);
+    const std::uint64_t ta = ga->tag.load(std::memory_order_relaxed);
+    const std::uint64_t tb = gb->tag.load(std::memory_order_relaxed);
+    const std::uint64_t sa = a->subtag.load(std::memory_order_relaxed);
+    const std::uint64_t sb = b->subtag.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (version_.load(std::memory_order_relaxed) == v1) {
+      return ta < tb || (ta == tb && sa < sb);
+    }
+    bo.pause();
+  }
+}
+
+bool List::check_invariants() const {
+  std::size_t items = 0;
+  std::uint64_t prev_tag = 0;
+  bool first_group = true;
+  for (const Group* g = head_; g; g = g->next) {
+    const std::uint64_t t = g->tag.load(std::memory_order_relaxed);
+    if (!first_group && t <= prev_tag) return false;
+    first_group = false;
+    prev_tag = t;
+    if (g->next && g->next->prev != g) return false;
+
+    std::uint32_t n = 0;
+    std::uint64_t prev_sub = 0;
+    const Item* prev_item = nullptr;
+    for (const Item* it = g->first; it; it = it->next) {
+      if (it->group.load(std::memory_order_relaxed) != g) return false;
+      const std::uint64_t s = it->subtag.load(std::memory_order_relaxed);
+      if (prev_item && s <= prev_sub) return false;
+      if (it->prev != prev_item) return false;
+      prev_item = it;
+      prev_sub = s;
+      ++n;
+      ++items;
+    }
+    if (g->last != prev_item) return false;
+    if (n != g->count) return false;
+  }
+  return items == size();
+}
+
+}  // namespace pint::om

@@ -1,0 +1,112 @@
+#pragma once
+
+// Concurrent order-maintenance (OM) list.
+//
+// Maintains a total order under two operations:
+//   insert_after(x) -> y   (y becomes x's immediate successor)
+//   precedes(a, b)         (is a before b?)
+//
+// This is the data-structure core of WSP-Order reachability (Utterback et
+// al., SPAA'16): core workers insert strand labels concurrently while treap
+// workers issue precedes() queries asynchronously.  The design here is a
+// classic two-level tag list:
+//
+//  * top level: doubly-linked list of Groups, each with a 64-bit tag;
+//  * bottom level: items within a group carry 64-bit subtags.
+//
+// Order of items = lexicographic (group tag, subtag).
+//
+// Concurrency protocol
+//  * plain inserts take only the target group's spinlock and, when a subtag
+//    gap exists, touch no existing item - concurrent queries are unaffected;
+//  * structural mutations (group split, subtag redistribution, top-level
+//    relabel) are guarded by a global sequence lock: precedes() is a
+//    lock-free seqlock read that retries if a structural mutation raced it.
+//
+// Items are allocated from an internal arena and live until the List dies;
+// race detectors keep strand labels in treaps long after the strand record
+// itself is recycled, so labels must never be freed mid-run.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "support/spinlock.hpp"
+
+namespace pint::om {
+
+class List;
+struct Group;
+
+struct Item {
+  std::atomic<Group*> group{nullptr};
+  std::atomic<std::uint64_t> subtag{0};
+  // Intra-group doubly-linked list, guarded by the group's lock.
+  Item* prev = nullptr;
+  Item* next = nullptr;
+};
+
+struct Group {
+  std::atomic<std::uint64_t> tag{0};
+  Group* prev = nullptr;  // top-level links, guarded by List::top_lock_
+  Group* next = nullptr;
+  Spinlock lock;
+  Item* first = nullptr;  // intra-group list, guarded by `lock`
+  Item* last = nullptr;
+  std::uint32_t count = 0;
+};
+
+class List {
+ public:
+  List();
+  ~List();
+  List(const List&) = delete;
+  List& operator=(const List&) = delete;
+
+  /// The minimum element, created by the constructor.
+  Item* base() { return base_; }
+
+  /// Inserts a new item immediately after `x`. Thread-safe.
+  Item* insert_after(Item* x);
+
+  /// True iff a is ordered strictly before b. Lock-free; safe to call
+  /// concurrently with inserts. a and b must be items of this list.
+  bool precedes(const Item* a, const Item* b) const;
+
+  // --- introspection (tests / stats) ---
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+  std::uint64_t structural_mutations() const {
+    return version_.load(std::memory_order_relaxed) / 2;
+  }
+  /// Walks the whole structure under the top lock and verifies every
+  /// ordering invariant. Test-only (stops the world is not needed; caller
+  /// must ensure no concurrent inserts).
+  bool check_invariants() const;
+
+ private:
+  static constexpr std::uint32_t kMaxGroupItems = 64;
+  static constexpr std::uint64_t kAppendGap = std::uint64_t(1) << 40;
+
+  Item* alloc_item();
+  Group* alloc_group();
+  /// Splits g (held locked) or redistributes its subtags, guaranteeing a
+  /// usable gap after x. Returns the (locked) group that now contains x.
+  Group* make_gap(Group* g, Item* x);
+  void relabel_top();  // caller holds top_lock_
+
+  Item* base_ = nullptr;
+  mutable Spinlock top_lock_;
+  Group* head_ = nullptr;  // top-level list head
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<std::size_t> size_{0};
+
+  // Chunked arenas (items/groups are never individually freed).
+  static constexpr std::size_t kChunk = 1024;
+  Spinlock arena_lock_;
+  std::vector<Item*> item_chunks_;
+  std::vector<Group*> group_chunks_;
+  std::atomic<std::size_t> item_used_{kChunk};   // index into newest chunk
+  std::atomic<std::size_t> group_used_{kChunk};
+};
+
+}  // namespace pint::om

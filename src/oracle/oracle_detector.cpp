@@ -1,0 +1,111 @@
+#include "oracle/oracle_detector.hpp"
+
+#include <cstdlib>
+
+#include "detect/instrument.hpp"
+#include "support/assert.hpp"
+
+namespace pint::oracle {
+
+OracleDetector::OracleDetector(const Options& opt) : opt_(opt) {}
+
+OracleDetector::~OracleDetector() {
+  for (StrandInfo* s : strands_) delete s;
+}
+
+OracleDetector::StrandInfo* OracleDetector::alloc_strand(const reach::Label& l) {
+  auto* s = new StrandInfo{l, ++next_sid_};
+  strands_.push_back(s);
+  return s;
+}
+
+void OracleDetector::record(StrandInfo* who, detect::addr_t lo,
+                            detect::addr_t hi, bool write) {
+  const auto g = opt_.granule;
+  for (detect::addr_t a = lo / g; a <= hi / g; ++a) {
+    auto& hist = bytes_[a];
+    bool already = false;
+    for (const Access& prev : hist) {
+      if (prev.who == who) {
+        if (prev.write == write) already = true;
+        continue;  // a strand cannot race with itself
+      }
+      if (!prev.write && !write) continue;  // read-read never races
+      if (reach_.parallel(prev.who->label, who->label)) {
+        auto a_sid = prev.who->sid, b_sid = who->sid;
+        if (a_sid > b_sid) std::swap(a_sid, b_sid);
+        pairs_.insert({a_sid, b_sid});
+      }
+    }
+    if (!already) hist.push_back({who, write});
+  }
+}
+
+void OracleDetector::clear_range(detect::addr_t lo, detect::addr_t hi) {
+  const auto g = opt_.granule;
+  auto it = bytes_.lower_bound(lo / g);
+  const auto end = bytes_.upper_bound(hi / g);
+  while (it != end) it = bytes_.erase(it);
+}
+
+void OracleDetector::on_access(rt::Worker&, rt::TaskFrame& f, detect::addr_t lo,
+                               detect::addr_t hi, bool is_write) {
+  record(static_cast<StrandInfo*>(f.det_strand), lo, hi, is_write);
+}
+
+void OracleDetector::on_heap_free(rt::Worker&, rt::TaskFrame&, void* base,
+                                  detect::addr_t lo, detect::addr_t hi) {
+  clear_range(lo, hi);
+  std::free(base);
+}
+
+void OracleDetector::on_root_start(rt::Worker&, rt::TaskFrame& f) {
+  f.det_strand = alloc_strand(reach_.root_label());
+}
+
+void OracleDetector::on_spawn(rt::Worker&, rt::TaskFrame& parent,
+                              rt::SyncBlock& blk, rt::TaskFrame& child) {
+  auto* u = static_cast<StrandInfo*>(parent.det_strand);
+  auto* j = static_cast<StrandInfo*>(blk.det_sync);
+  if (j == nullptr) {
+    j = alloc_strand({});
+    blk.det_sync = j;
+  }
+  const auto labels = reach_.on_spawn(u->label, &j->label);
+  child.det_strand = alloc_strand(labels.child);
+  parent.det_cont = alloc_strand(labels.cont);
+}
+
+void OracleDetector::on_spawn_return(rt::Worker&, rt::TaskFrame& child,
+                                     bool stolen) {
+  PINT_CHECK_MSG(!stolen, "oracle must run on one worker");
+  clear_range(child.fiber->stack_lo(), child.fiber->stack_hi() - 1);
+}
+
+void OracleDetector::on_continuation(rt::Worker&, rt::TaskFrame& parent, bool) {
+  parent.det_strand = parent.det_cont;
+  parent.det_cont = nullptr;
+}
+
+void OracleDetector::on_after_sync(rt::Worker&, rt::TaskFrame& f,
+                                   rt::SyncBlock& blk, bool) {
+  auto* j = static_cast<StrandInfo*>(blk.det_sync);
+  if (j == nullptr) return;
+  f.det_strand = j;
+  blk.det_sync = nullptr;
+}
+
+void OracleDetector::run(std::function<void()> fn) {
+  PINT_CHECK_MSG(!used_, "OracleDetector instances are single-use");
+  used_ = true;
+  rt::Scheduler::Options so;
+  so.workers = 1;
+  so.hooks = this;
+  so.stack_bytes = opt_.stack_bytes;
+  rt::Scheduler sched(so);
+  detect::set_active_detector(this);
+  sched.run([&] { fn(); });
+  detect::set_active_detector(nullptr);
+}
+
+}  // namespace pint::oracle

@@ -1,0 +1,95 @@
+#pragma once
+
+// Exact-oracle detector, used only by tests.
+//
+// Runs the program on ONE worker (the serial elision order, which is always
+// DAG-conforming) and keeps, per byte granule, EVERY accessor ever seen (not
+// the 1/2/3-accessor summaries real detectors keep).  A race is recorded for
+// every conflicting parallel pair, so the oracle's race set is the ground
+// truth that the real detectors' iff-guarantee (Theorem 5) is validated
+// against: a detector must report something iff the oracle's set is
+// non-empty, and every pair a detector reports must be in the oracle's set.
+//
+// Intended for small tests only: memory/time is proportional to accessors
+// kept per location.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "detect/report.hpp"
+#include "detect/strand.hpp"
+#include "reach/sp_order.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace pint::oracle {
+
+class OracleDetector final : public detect::Detector,
+                             public rt::SchedulerHooks {
+ public:
+  struct Options {
+    std::size_t stack_bytes = std::size_t(1) << 18;
+    /// Granule for exact tracking; tests use byte-accurate (1).
+    std::size_t granule = 1;
+  };
+
+  OracleDetector() : OracleDetector(Options{}) {}
+  explicit OracleDetector(const Options& opt);
+  ~OracleDetector() override;
+
+  void run(std::function<void()> fn);
+
+  /// All conflicting parallel pairs, as symmetric (min sid, max sid) pairs.
+  const std::set<std::pair<std::uint64_t, std::uint64_t>>& race_pairs() const {
+    return pairs_;
+  }
+  bool any_race() const { return !pairs_.empty(); }
+  /// Is (a, b) a true racing pair?
+  bool is_racing_pair(std::uint64_t a, std::uint64_t b) const {
+    if (a > b) std::swap(a, b);
+    return pairs_.count({a, b}) != 0;
+  }
+
+  // --- detect::Detector ---
+  void on_access(rt::Worker& w, rt::TaskFrame& f, detect::addr_t lo,
+                 detect::addr_t hi, bool is_write) override;
+  void on_heap_free(rt::Worker& w, rt::TaskFrame& f, void* base,
+                    detect::addr_t lo, detect::addr_t hi) override;
+  const char* name() const override { return "oracle"; }
+
+  // --- rt::SchedulerHooks ---
+  void on_root_start(rt::Worker& w, rt::TaskFrame& f) override;
+  void on_spawn(rt::Worker& w, rt::TaskFrame& parent, rt::SyncBlock& blk,
+                rt::TaskFrame& child) override;
+  void on_spawn_return(rt::Worker& w, rt::TaskFrame& child, bool stolen) override;
+  void on_continuation(rt::Worker& w, rt::TaskFrame& parent, bool stolen) override;
+  void on_after_sync(rt::Worker& w, rt::TaskFrame& f, rt::SyncBlock& blk,
+                     bool trivial) override;
+
+ private:
+  struct StrandInfo {
+    reach::Label label;
+    std::uint64_t sid;
+  };
+  struct Access {
+    StrandInfo* who;
+    bool write;
+  };
+
+  StrandInfo* alloc_strand(const reach::Label& l);
+  void record(StrandInfo* who, detect::addr_t lo, detect::addr_t hi, bool write);
+  void clear_range(detect::addr_t lo, detect::addr_t hi);
+
+  Options opt_;
+  reach::Engine reach_;
+  std::vector<StrandInfo*> strands_;
+  std::uint64_t next_sid_ = 0;
+  std::map<detect::addr_t, std::vector<Access>> bytes_;  // granule -> history
+  std::set<std::pair<std::uint64_t, std::uint64_t>> pairs_;
+  bool used_ = false;
+};
+
+}  // namespace pint::oracle

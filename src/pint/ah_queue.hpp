@@ -1,0 +1,88 @@
+#pragma once
+
+// The access-history queue (paper §III-D).
+//
+// A single producer - the writer treap worker - inserts collected strands in
+// DAG-conforming order; all three treap workers consume the same sequence
+// through private cursors, which is what guarantees every treap observes one
+// global access-history order (Lemma 4).
+//
+// Slot recycling follows the paper: each strand carries a consumer counter
+// initialised to the number of treap workers; each worker decrements it
+// after processing, and the producer reclaims slots (recycling the strand
+// and releasing its retired fiber already happened at processing time) once
+// the counter hits zero.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "detect/strand.hpp"
+#include "support/assert.hpp"
+
+namespace pint::pintd {
+
+class AhQueue {
+ public:
+  explicit AhQueue(std::size_t capacity_pow2)
+      : mask_(capacity_pow2 - 1),
+        slots_(new detect::Strand*[capacity_pow2]) {
+    PINT_CHECK_MSG((capacity_pow2 & mask_) == 0, "capacity must be a power of 2");
+  }
+
+  /// Producer. Fails (returns false) when the ring is full; the producer
+  /// should reclaim and retry - the readers drain independently, so this
+  /// cannot deadlock.
+  bool try_push(detect::Strand* s) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h - tail_ > mask_) return false;
+    slots_[h & mask_] = s;
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer: walk finished slots from the tail, invoking recycle(strand)
+  /// for each strand all consumers are done with.
+  template <class F>
+  void reclaim(F&& recycle) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    while (tail_ < h) {
+      detect::Strand* s = slots_[tail_ & mask_];
+      if (s->consumers.load(std::memory_order_acquire) != 0) break;
+      recycle(s);
+      ++tail_;
+    }
+  }
+
+  /// Consumers: published number of strands (a cursor < head() may read).
+  std::uint64_t head() const { return head_.load(std::memory_order_acquire); }
+  detect::Strand* at(std::uint64_t index) const {
+    return slots_[index & mask_];
+  }
+
+  std::uint64_t reclaimed() const { return tail_; }
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Doubles the ring. ONLY legal while no consumer threads are running
+  /// (used by PINT's sequential one-core mode, where the whole queue is
+  /// buffered before the reader phases start).
+  void grow_unsynchronized() {
+    const std::size_t old_cap = mask_ + 1;
+    const std::size_t new_cap = old_cap * 2;
+    auto fresh = std::make_unique<detect::Strand*[]>(new_cap);
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    for (std::uint64_t i = tail_; i < h; ++i) {
+      fresh[i & (new_cap - 1)] = slots_[i & mask_];
+    }
+    slots_ = std::move(fresh);
+    mask_ = new_cap - 1;
+  }
+
+ private:
+  std::uint64_t mask_;
+  std::unique_ptr<detect::Strand*[]> slots_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t tail_ = 0;  // producer-local reclaim cursor
+};
+
+}  // namespace pint::pintd

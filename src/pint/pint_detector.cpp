@@ -1,0 +1,591 @@
+#include "pint/pint_detector.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+#include "detect/history.hpp"
+#include "detect/instrument.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace pint::pintd {
+
+using detect::ReaderSide;
+using detect::Strand;
+
+namespace {
+std::uint64_t subseed(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t s = seed + salt * 0x9e3779b97f4a7c15ULL;
+  return splitmix64(s);
+}
+}  // namespace
+
+PintDetector::PintDetector(const Options& opt)
+    : opt_(opt),
+      queue_(opt.queue_capacity),
+      writer_treap_(subseed(opt.seed, 1)),
+      lreader_treap_(subseed(opt.seed, 2)),
+      rreader_treap_(subseed(opt.seed, 3)) {
+  rep_.set_verbose(opt_.verbose_races);
+  PINT_CHECK_MSG(
+      opt_.history_shards == 0 || opt_.history == detect::HistoryKind::kTreap,
+      "sharded history supports the treap store only");
+  for (int k = 0; k < opt_.history_shards; ++k) {
+    shards_.push_back(std::make_unique<HistoryShard>(
+        subseed(opt_.seed, 10 + std::uint64_t(k) * 3),
+        subseed(opt_.seed, 11 + std::uint64_t(k) * 3),
+        subseed(opt_.seed, 12 + std::uint64_t(k) * 3)));
+  }
+  for (int i = 0; i < opt_.core_workers; ++i) {
+    auto ws = std::make_unique<CoreWS>();
+    ws->index = std::uint32_t(i);
+    ws_.push_back(std::move(ws));
+  }
+}
+
+PintDetector::~PintDetector() {
+  for (auto& ws : ws_) {
+    for (Strand* s : ws->owned) delete s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pools
+// ---------------------------------------------------------------------------
+
+Strand* PintDetector::alloc_strand(CoreWS& ws) {
+  Strand* s = nullptr;
+  {
+    LockGuard<Spinlock> g(ws.pool_mu);
+    if (ws.free_list != nullptr) {
+      s = ws.free_list;
+      ws.free_list = s->pool_next;
+    }
+  }
+  if (s == nullptr) {
+    s = new Strand();
+    ws.owned.push_back(s);
+  }
+  const std::uint64_t sid =
+      (std::uint64_t(ws.index + 1) << 40) | ++ws.next_sid;
+  s->reset(sid);
+  s->owner_worker = ws.index;
+  ws.strands++;
+  return s;
+}
+
+void PintDetector::recycle_strand(Strand* s) {
+  CoreWS& ws = *ws_[s->owner_worker];
+  LockGuard<Spinlock> g(ws.pool_mu);
+  s->pool_next = ws.free_list;
+  ws.free_list = s;
+}
+
+Trace* PintDetector::alloc_trace() {
+  {
+    LockGuard<Spinlock> g(tp_mu_);
+    if (!trace_pool_.empty()) {
+      Trace* t = trace_pool_.back();
+      trace_pool_.pop_back();
+      return t;
+    }
+  }
+  auto t = std::make_unique<Trace>();
+  Trace* p = t.get();
+  LockGuard<Spinlock> g(tp_mu_);
+  all_traces_.push_back(std::move(t));
+  return p;
+}
+
+TraceChunk* PintDetector::alloc_chunk() {
+  {
+    LockGuard<Spinlock> g(cp_mu_);
+    if (!chunk_pool_.empty()) {
+      TraceChunk* c = chunk_pool_.back();
+      chunk_pool_.pop_back();
+      for (auto& slot : c->slots) slot.store(nullptr, std::memory_order_relaxed);
+      c->next.store(nullptr, std::memory_order_relaxed);
+      return c;
+    }
+  }
+  auto c = std::make_unique<TraceChunk>();
+  TraceChunk* p = c.get();
+  LockGuard<Spinlock> g(cp_mu_);
+  all_chunks_.push_back(std::move(c));
+  return p;
+}
+
+void PintDetector::recycle_trace(Trace* t) {
+  LockGuard<Spinlock> g(tp_mu_);
+  trace_pool_.push_back(t);
+}
+
+void PintDetector::recycle_chunk(TraceChunk* c) {
+  LockGuard<Spinlock> g(cp_mu_);
+  chunk_pool_.push_back(c);
+}
+
+// ---------------------------------------------------------------------------
+// Core-component helpers
+// ---------------------------------------------------------------------------
+
+void PintDetector::trace_push(CoreWS& ws, Strand* s) {
+  if (ws.cur->push_needs_chunk()) ws.cur->supply_chunk(alloc_chunk());
+  ws.cur->push(s);
+}
+
+void PintDetector::start_new_trace(CoreWS& ws) {
+  Trace* t = alloc_trace();
+  t->init(alloc_chunk());
+  Trace* old = ws.cur;
+  old->mark_finished();
+  old->set_next_trace(t);  // after mark_finished: consumer sees both in order
+  ws.cur = t;
+  ws.traces++;
+}
+
+void PintDetector::seal_strand(CoreWS& ws, Strand* s) {
+  s->reads.finalize(opt_.coalesce);
+  s->writes.finalize(opt_.coalesce);
+  ws.read_intervals += s->reads.items().size();
+  ws.write_intervals += s->writes.items().size();
+}
+
+// ---------------------------------------------------------------------------
+// detect::Detector (memory events, on core workers)
+// ---------------------------------------------------------------------------
+
+void PintDetector::on_access(rt::Worker& w, rt::TaskFrame& f, detect::addr_t lo,
+                             detect::addr_t hi, bool is_write) {
+  auto& ws = *static_cast<CoreWS*>(w.det_worker);
+  auto* s = static_cast<Strand*>(f.det_strand);
+  PINT_ASSERT(s != nullptr);
+  if (is_write) {
+    ws.raw_writes++;
+    if (opt_.coalesce) {
+      s->writes.add(lo, hi);
+    } else {
+      s->writes.add_raw(lo, hi);
+    }
+  } else {
+    ws.raw_reads++;
+    if (opt_.coalesce) {
+      s->reads.add(lo, hi);
+    } else {
+      s->reads.add_raw(lo, hi);
+    }
+  }
+}
+
+void PintDetector::on_heap_free(rt::Worker&, rt::TaskFrame& f, void* base,
+                                detect::addr_t lo, detect::addr_t hi) {
+  auto* s = static_cast<Strand*>(f.det_strand);
+  PINT_ASSERT(s != nullptr);
+  s->frees.push_back({base, lo, hi});
+}
+
+// ---------------------------------------------------------------------------
+// rt::SchedulerHooks (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+void PintDetector::on_root_start(rt::Worker& w, rt::TaskFrame& f) {
+  auto& ws = *static_cast<CoreWS*>(w.det_worker);
+  Strand* r = alloc_strand(ws);
+  r->label = reach_.root_label();
+  r->tag = f.task_name;
+  f.det_strand = r;
+}
+
+void PintDetector::on_root_end(rt::Worker& w, rt::TaskFrame& f) {
+  auto& ws = *static_cast<CoreWS*>(w.det_worker);
+  auto* u = static_cast<Strand*>(f.det_strand);
+  seal_strand(ws, u);
+  u->clears.push_back({f.fiber->stack_lo(), f.fiber->stack_hi() - 1});
+  // trace insertion happens at on_task_retire, off this fiber's stack
+}
+
+void PintDetector::on_spawn(rt::Worker& w, rt::TaskFrame& parent,
+                            rt::SyncBlock& blk, rt::TaskFrame& child) {
+  auto& ws = *static_cast<CoreWS*>(w.det_worker);
+  auto* u = static_cast<Strand*>(parent.det_strand);
+  seal_strand(ws, u);
+
+  auto* j = static_cast<Strand*>(blk.det_sync);
+  if (j == nullptr) {
+    // First spawn of the sync block: create the sync node now so its label
+    // is in series with the entire block (see reach/sp_order.hpp).
+    j = alloc_strand(ws);
+    blk.det_sync = j;
+  }
+  if (j->tag == nullptr) j->tag = parent.task_name;
+  const auto labels = reach_.on_spawn(u->label, &j->label);
+  Strand* g = alloc_strand(ws);  // first strand of the spawned function
+  g->label = labels.child;
+  g->tag = child.task_name;
+  Strand* t = alloc_strand(ws);  // continuation strand
+  t->label = labels.cont;
+  t->tag = parent.task_name;
+  t->pred.store(1, std::memory_order_relaxed);  // Algorithm 1, line 8
+  u->collect_child = t;  // "u is a spawn node" case of Algorithm 2
+
+  child.det_strand = g;
+  parent.det_cont = t;
+  trace_push(ws, u);  // Algorithm 1, line 11
+}
+
+void PintDetector::on_spawn_return(rt::Worker& w, rt::TaskFrame& child,
+                                   bool continuation_stolen) {
+  auto& ws = *static_cast<CoreWS*>(w.det_worker);
+  auto* u = static_cast<Strand*>(child.det_strand);  // the return node
+  seal_strand(ws, u);
+  if (continuation_stolen) {
+    // Algorithm 1, lines 15-17: this return node becomes a predecessor of
+    // the parent block's (non-trivial) sync node.
+    auto* j = static_cast<Strand*>(child.parent_scope->det_sync);
+    PINT_ASSERT(j != nullptr);
+    u->collect_child = j;
+    j->pred.fetch_add(1, std::memory_order_acq_rel);
+  }
+  // The spawned function's stack dies with it: clear it from the access
+  // history when this strand is processed (paper §III-F), and hold the
+  // fiber back until then (set at on_task_retire).
+  u->clears.push_back({child.fiber->stack_lo(), child.fiber->stack_hi() - 1});
+}
+
+void PintDetector::on_continuation(rt::Worker& w, rt::TaskFrame& parent,
+                                   bool stolen) {
+  auto* t = static_cast<Strand*>(parent.det_cont);
+  PINT_ASSERT(t != nullptr);
+  parent.det_cont = nullptr;
+  parent.det_strand = t;
+  if (stolen) {
+    // Algorithm 1, lines 22-24: a stolen continuation starts a new trace on
+    // the thief.
+    auto& ws = *static_cast<CoreWS*>(w.det_worker);
+    start_new_trace(ws);
+  }
+}
+
+void PintDetector::on_sync(rt::Worker& w, rt::TaskFrame& f, rt::SyncBlock& blk,
+                           bool trivial) {
+  auto* j = static_cast<Strand*>(blk.det_sync);
+  if (j == nullptr) return;  // no spawn since the last sync: sync is a no-op
+  auto& ws = *static_cast<CoreWS*>(w.det_worker);
+  auto* u = static_cast<Strand*>(f.det_strand);
+  seal_strand(ws, u);
+  if (!trivial) {
+    // Algorithm 1, lines 29-31.
+    u->collect_child = j;
+    j->pred.fetch_add(1, std::memory_order_acq_rel);
+  }
+  trace_push(ws, u);  // Algorithm 1, line 32
+}
+
+void PintDetector::on_after_sync(rt::Worker& w, rt::TaskFrame& f,
+                                 rt::SyncBlock& blk, bool trivial) {
+  auto* j = static_cast<Strand*>(blk.det_sync);
+  if (j == nullptr) return;
+  if (!trivial) {
+    // Algorithm 1, lines 35-37: a non-trivial sync starts a new trace on
+    // whichever worker passed it.
+    auto& ws = *static_cast<CoreWS*>(w.det_worker);
+    start_new_trace(ws);
+  }
+  f.det_strand = j;  // the sync node is the new current strand
+  blk.det_sync = nullptr;
+}
+
+bool PintDetector::on_task_retire(rt::Worker& w, rt::TaskFrame& f) {
+  // Runs on the worker loop, after the finished fiber was switched away
+  // from - only now is it safe to publish the return-node strand (and with
+  // it the fiber, whose stack must not be reused until the writer treap
+  // worker processes this strand).
+  auto& ws = *static_cast<CoreWS*>(w.det_worker);
+  auto* u = static_cast<Strand*>(f.det_strand);
+  if (!opt_.parallel_history) {
+    // Phased one-core mode: the whole run is a single trace, so any reuse of
+    // this fiber's stack is by a strand strictly later in trace order - the
+    // clear recorded on this return node is processed first (paper §III-F).
+    // The fiber can be pooled immediately; only the strand record is held.
+    trace_push(ws, u);
+    return false;
+  }
+  u->retired_frame = &f;
+  trace_push(ws, u);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Access-history component
+// ---------------------------------------------------------------------------
+
+void PintDetector::collect(Strand* s) {
+  const std::int32_t nconsumers =
+      shards_.empty() ? 3 : std::int32_t(shards_.size());
+  s->consumers.store(nconsumers, std::memory_order_release);
+  Backoff bo;
+  while (!queue_.try_push(s)) {
+    if (!opt_.parallel_history) {
+      // Sequential mode buffers the entire run before the reader phases, so
+      // the ring simply grows (no consumers are live yet).
+      queue_.grow_unsynchronized();
+      continue;
+    }
+    queue_.reclaim([this](Strand* d) { recycle_strand(d); });
+    bo.pause();
+  }
+  ++pushed_;
+  if (opt_.record_collection_order) collection_log_.push_back(s->label);
+  // Algorithm 2, lines 42-44.
+  if (s->collect_child != nullptr) {
+    s->collect_child->pred.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  process_writer(s);
+  if (shards_.empty()) {
+    s->consumers.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void PintDetector::process_writer(Strand* s) {
+  writer_watch_.start();
+  if (!shards_.empty()) {
+    // Sharded mode: the collector does no history work itself; shards own
+    // all three stores. Deferred resources are still released here (the
+    // queue-order argument of paper SIII-F is unchanged).
+  } else if (opt_.history == detect::HistoryKind::kTreap) {
+    detect::process_writer_treap(writer_treap_, *s, reach_, rep_, stats_);
+  } else {
+    detect::process_writer_treap(writer_map_, *s, reach_, rep_, stats_);
+  }
+  // Deferred frees become real here: any later reuse of this memory is by a
+  // strand collected after s, so each treap erases the range before seeing
+  // the new owner's accesses (paper §III-F).
+  for (const detect::HeapFree& hf : s->frees) std::free(hf.base);
+  if (s->retired_frame != nullptr) {
+    // Same argument for the fiber stack: reuse is only possible for strands
+    // that land later in the access-history order.
+    sched_->release_frame(s->retired_frame);
+    s->retired_frame = nullptr;
+  }
+  writer_watch_.stop();
+}
+
+bool PintDetector::collect_from(CoreWS& ws, bool* drained) {
+  constexpr int kBatch = 64;
+  bool progress = false;
+  *drained = false;
+  for (int i = 0; i < kBatch; ++i) {
+    Trace* t = ws.ccur;
+    Strand* s = t->peek();
+    if (TraceChunk* dc = t->take_drained_chunk()) recycle_chunk(dc);
+    if (s == nullptr) {
+      if (t->drained()) {
+        Trace* nt = t->next_trace();
+        if (nt != nullptr) {
+          recycle_chunk(t->last_chunk_for_recycle());
+          recycle_trace(t);
+          ws.ccur = nt;
+          progress = true;
+          continue;
+        }
+        *drained = true;
+      }
+      return progress;
+    }
+    if (!t->first_collected()) {
+      // Collection Rule 1: the first strand of a trace is collectable only
+      // once all its immediate predecessors were collected.
+      if (s->pred.load(std::memory_order_acquire) != 0) return progress;
+    }
+    t->pop();
+    t->set_first_collected();
+    collect(s);
+    progress = true;
+  }
+  return progress;
+}
+
+void PintDetector::writer_loop() {
+  Backoff bo;
+  for (;;) {
+    const bool done_before_scan = core_done_.load(std::memory_order_acquire);
+    bool progress = false;
+    bool all_drained = true;
+    for (auto& ws : ws_) {
+      bool drained = false;
+      progress |= collect_from(*ws, &drained);
+      all_drained &= drained;
+    }
+    queue_.reclaim([this](Strand* d) { recycle_strand(d); });
+    if (done_before_scan && all_drained) break;
+    if (progress) {
+      bo.reset();
+    } else {
+      bo.pause();
+    }
+  }
+  collecting_done_.store(true, std::memory_order_release);
+}
+
+void PintDetector::reader_loop(ReaderSide side) {
+  treap::IntervalTreap& t =
+      side == ReaderSide::kLeftMost ? lreader_treap_ : rreader_treap_;
+  detect::GranuleMap& m =
+      side == ReaderSide::kLeftMost ? lreader_map_ : rreader_map_;
+  const bool use_treap = opt_.history == detect::HistoryKind::kTreap;
+  StopwatchAccum& watch =
+      side == ReaderSide::kLeftMost ? lreader_watch_ : rreader_watch_;
+  std::uint64_t cursor = 0;
+  Backoff bo;
+  for (;;) {
+    const std::uint64_t h = queue_.head();
+    if (cursor == h) {
+      if (collecting_done_.load(std::memory_order_acquire) &&
+          cursor == queue_.head()) {
+        break;
+      }
+      bo.pause();
+      continue;
+    }
+    bo.reset();
+    while (cursor < h) {
+      Strand* s = queue_.at(cursor);
+      watch.start();
+      if (use_treap) {
+        detect::process_reader_treap(t, *s, reach_, rep_, stats_, side);
+      } else {
+        detect::process_reader_treap(m, *s, reach_, rep_, stats_, side);
+      }
+      watch.stop();
+      s->consumers.fetch_sub(1, std::memory_order_acq_rel);
+      ++cursor;
+    }
+  }
+}
+
+void PintDetector::shard_loop(int shard) {
+  HistoryShard& hs = *shards_[std::size_t(shard)];
+  const int n = int(shards_.size());
+  std::uint64_t cursor = 0;
+  Backoff bo;
+  for (;;) {
+    const std::uint64_t h = queue_.head();
+    if (cursor == h) {
+      if (collecting_done_.load(std::memory_order_acquire) &&
+          cursor == queue_.head()) {
+        break;
+      }
+      bo.pause();
+      continue;
+    }
+    bo.reset();
+    while (cursor < h) {
+      Strand* s = queue_.at(cursor);
+      hs.watch.start();
+      hs.process(*s, shard, n, reach_, rep_, stats_);
+      hs.watch.stop();
+      s->consumers.fetch_sub(1, std::memory_order_acq_rel);
+      ++cursor;
+    }
+  }
+}
+
+void PintDetector::finish_history_sequential() {
+  // Phase 1: collection (+ writer treap in the classic configuration).
+  writer_loop();
+  if (!shards_.empty()) {
+    for (int k = 0; k < int(shards_.size()); ++k) shard_loop(k);
+    return;
+  }
+  // Phase 2 & 3: the two reader treaps over the same global order.
+  reader_loop(ReaderSide::kLeftMost);
+  reader_loop(ReaderSide::kRightMost);
+}
+
+// ---------------------------------------------------------------------------
+// Run orchestration
+// ---------------------------------------------------------------------------
+
+void PintDetector::run(std::function<void()> fn) {
+  PINT_CHECK_MSG(!used_, "PintDetector instances are single-use");
+  used_ = true;
+
+  rt::Scheduler::Options so;
+  so.workers = opt_.core_workers;
+  so.hooks = this;
+  so.stack_bytes = opt_.stack_bytes;
+  so.seed = opt_.seed;
+  rt::Scheduler sched(so);
+  sched_ = &sched;
+
+  for (int i = 0; i < opt_.core_workers; ++i) {
+    sched.worker(i).det_worker = ws_[i].get();
+    Trace* t = alloc_trace();
+    t->init(alloc_chunk());
+    ws_[i]->cur = t;
+    ws_[i]->ccur = t;
+    ws_[i]->traces = 1;
+  }
+
+  detect::set_active_detector(this);
+  Timer total;
+
+  if (opt_.parallel_history) {
+    std::thread writer([this] { writer_loop(); });
+    std::vector<std::thread> history;
+    if (shards_.empty()) {
+      history.emplace_back([this] { reader_loop(ReaderSide::kLeftMost); });
+      history.emplace_back([this] { reader_loop(ReaderSide::kRightMost); });
+    } else {
+      for (int k = 0; k < int(shards_.size()); ++k) {
+        history.emplace_back([this, k] { shard_loop(k); });
+      }
+    }
+
+    Timer core;
+    sched.run([&] { fn(); });
+    stats_.core_ns.store(core.elapsed_ns());
+
+    for (auto& ws : ws_) ws->cur->mark_finished();
+    core_done_.store(true, std::memory_order_release);
+    writer.join();
+    for (auto& t : history) t.join();
+  } else {
+    Timer core;
+    sched.run([&] { fn(); });
+    stats_.core_ns.store(core.elapsed_ns());
+    for (auto& ws : ws_) ws->cur->mark_finished();
+    core_done_.store(true, std::memory_order_release);
+    finish_history_sequential();
+  }
+
+  stats_.total_ns.store(total.elapsed_ns());
+  stats_.writer_ns.store(writer_watch_.total_ns());
+  if (shards_.empty()) {
+    stats_.lreader_ns.store(lreader_watch_.total_ns());
+    stats_.rreader_ns.store(rreader_watch_.total_ns());
+  } else {
+    // Sharded mode: lreader_ns = busiest shard, rreader_ns = total shard work.
+    std::uint64_t mx = 0, sum = 0;
+    for (const auto& sh : shards_) {
+      mx = std::max(mx, sh->watch.total_ns());
+      sum += sh->watch.total_ns();
+    }
+    stats_.lreader_ns.store(mx);
+    stats_.rreader_ns.store(sum);
+  }
+  stats_.steals.store(sched.total_steals());
+  for (auto& ws : ws_) {
+    stats_.raw_reads.fetch_add(ws->raw_reads);
+    stats_.raw_writes.fetch_add(ws->raw_writes);
+    stats_.read_intervals.fetch_add(ws->read_intervals);
+    stats_.write_intervals.fetch_add(ws->write_intervals);
+    stats_.strands.fetch_add(ws->strands);
+    stats_.traces.fetch_add(ws->traces);
+  }
+
+  detect::set_active_detector(nullptr);
+  sched_ = nullptr;
+}
+
+}  // namespace pint::pintd

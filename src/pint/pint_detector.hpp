@@ -1,0 +1,179 @@
+#pragma once
+
+// PINT - Parallel INTerval-based race detector (the paper's contribution).
+//
+// Architecture (paper §III):
+//  * CORE COMPONENT: `core_workers` workers execute the program under the
+//    continuation-stealing scheduler, maintain WSP-Order reachability
+//    labels, coalesce each strand's accesses into intervals, and deposit
+//    finished strands into per-worker trace FIFOs (Algorithm 1).
+//  * ACCESS-HISTORY COMPONENT: three treap workers run asynchronously.  The
+//    WRITER treap worker collects ready strands from the traces in a
+//    DAG-conforming order (Algorithm 2 + collection rules), appends them to
+//    the shared access-history queue, maintains the last-writer treap,
+//    performs deferred heap frees, and releases retired fiber stacks.  The
+//    two READER treap workers follow the queue with private cursors and
+//    maintain the left-most / right-most reader treaps.
+//
+// One-core mode (`parallel_history = false`) reproduces the paper's
+// single-core PINT measurement: the core component runs to completion first
+// and the three treap phases run afterwards on the calling thread, which
+// makes the Fig. 2 work breakdown directly measurable.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "detect/history.hpp"
+#include "detect/report.hpp"
+#include "detect/stats.hpp"
+#include "detect/strand.hpp"
+#include "pint/ah_queue.hpp"
+#include "pint/sharded_history.hpp"
+#include "pint/trace.hpp"
+#include "reach/sp_order.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/timer.hpp"
+#include "treap/interval_treap.hpp"
+
+namespace pint::pintd {
+
+class PintDetector final : public detect::Detector, public rt::SchedulerHooks {
+ public:
+  struct Options {
+    /// Workers executing the program (the paper's "P - 3 core workers").
+    int core_workers = 1;
+    /// True: three concurrent treap workers (the real PINT). False: phased
+    /// one-core execution used for the overhead measurements.
+    bool parallel_history = true;
+    /// Runtime coalescing of accesses into intervals (ablation knob).
+    bool coalesce = true;
+    /// Access-history store: the paper's interval treap, or a per-granule
+    /// hashmap under the identical pipeline (ablation knob).
+    detect::HistoryKind history = detect::HistoryKind::kTreap;
+    /// 0 = the paper's three role-workers (writer/lreader/rreader).
+    /// N > 0 = the §VI extension: N address-sharded history workers, each
+    /// owning all three stores for its stripes (requires kTreap).
+    int history_shards = 0;
+    std::size_t queue_capacity = std::size_t(1) << 16;
+    /// Test-only: record the label of every collected strand so tests can
+    /// verify the collection order is DAG-conforming (Lemmas 1-4).
+    bool record_collection_order = false;
+    std::size_t stack_bytes = std::size_t(1) << 18;
+    bool verbose_races = false;
+    std::uint64_t seed = 42;
+  };
+
+  explicit PintDetector(const Options& opt);
+  ~PintDetector() override;
+
+  /// Executes fn() under race detection. One run per detector instance.
+  void run(std::function<void()> fn);
+
+  detect::RaceReporter& reporter() { return rep_; }
+  const detect::Stats& stats() const { return stats_; }
+  reach::Engine& reachability() { return reach_; }
+  /// Valid after run() when Options::record_collection_order was set.
+  const std::vector<reach::Label>& collection_order() const {
+    return collection_log_;
+  }
+
+  // --- detect::Detector ---
+  void on_access(rt::Worker& w, rt::TaskFrame& f, detect::addr_t lo,
+                 detect::addr_t hi, bool is_write) override;
+  void on_heap_free(rt::Worker& w, rt::TaskFrame& f, void* base,
+                    detect::addr_t lo, detect::addr_t hi) override;
+  const char* name() const override { return "PINT"; }
+
+  // --- rt::SchedulerHooks (Algorithm 1 events) ---
+  void on_root_start(rt::Worker& w, rt::TaskFrame& f) override;
+  void on_root_end(rt::Worker& w, rt::TaskFrame& f) override;
+  void on_spawn(rt::Worker& w, rt::TaskFrame& parent, rt::SyncBlock& blk,
+                rt::TaskFrame& child) override;
+  void on_spawn_return(rt::Worker& w, rt::TaskFrame& child,
+                       bool continuation_stolen) override;
+  void on_continuation(rt::Worker& w, rt::TaskFrame& parent, bool stolen) override;
+  void on_sync(rt::Worker& w, rt::TaskFrame& f, rt::SyncBlock& blk,
+               bool trivial) override;
+  void on_after_sync(rt::Worker& w, rt::TaskFrame& f, rt::SyncBlock& blk,
+                     bool trivial) override;
+  bool on_task_retire(rt::Worker& w, rt::TaskFrame& f) override;
+
+ private:
+  /// Per-core-worker state: the producer end of its trace list, the
+  /// consumer cursor the writer treap worker walks, a strand pool, and
+  /// cheap (non-atomic) per-worker counters flushed at run end.
+  struct CoreWS {
+    std::uint32_t index = 0;
+    // producer side (owned by the core worker)
+    Trace* cur = nullptr;
+    std::uint64_t next_sid = 0;
+    std::uint64_t raw_reads = 0, raw_writes = 0;
+    std::uint64_t read_intervals = 0, write_intervals = 0;
+    std::uint64_t strands = 0, traces = 0;
+    // consumer side (owned by the writer treap worker)
+    Trace* ccur = nullptr;
+    // strand pool: owner pops, writer treap worker returns
+    Spinlock pool_mu;
+    detect::Strand* free_list = nullptr;
+    std::vector<detect::Strand*> owned;  // for destruction
+  };
+
+  detect::Strand* alloc_strand(CoreWS& ws);
+  void recycle_strand(detect::Strand* s);
+  Trace* alloc_trace();
+  TraceChunk* alloc_chunk();
+  void recycle_trace(Trace* t);
+  void recycle_chunk(TraceChunk* c);
+  void trace_push(CoreWS& ws, detect::Strand* s);
+  void start_new_trace(CoreWS& ws);
+  void seal_strand(CoreWS& ws, detect::Strand* s);
+
+  // access-history component
+  void writer_loop();
+  void reader_loop(detect::ReaderSide side);
+  void shard_loop(int shard);
+  /// Collects ready strands from one worker's traces (bounded batch).
+  /// Returns true if progress was made; sets *drained when nothing can ever
+  /// come from this worker again.
+  bool collect_from(CoreWS& ws, bool* drained);
+  void collect(detect::Strand* s);
+  void process_writer(detect::Strand* s);
+  void finish_history_sequential();
+
+  Options opt_;
+  reach::Engine reach_;
+  detect::RaceReporter rep_;
+  detect::Stats stats_;
+  AhQueue queue_;
+  treap::IntervalTreap writer_treap_;
+  treap::IntervalTreap lreader_treap_;
+  treap::IntervalTreap rreader_treap_;
+  detect::GranuleMap writer_map_;
+  detect::GranuleMap lreader_map_;
+  detect::GranuleMap rreader_map_;
+  std::vector<std::unique_ptr<HistoryShard>> shards_;
+
+  std::vector<std::unique_ptr<CoreWS>> ws_;
+  rt::Scheduler* sched_ = nullptr;
+  bool used_ = false;
+
+  std::atomic<bool> core_done_{false};
+  std::atomic<bool> collecting_done_{false};
+  std::uint64_t pushed_ = 0;  // writer-local
+
+  // trace / chunk pools (core workers allocate, writer recycles)
+  Spinlock tp_mu_;
+  std::vector<Trace*> trace_pool_;
+  std::vector<std::unique_ptr<Trace>> all_traces_;
+  Spinlock cp_mu_;
+  std::vector<TraceChunk*> chunk_pool_;
+  std::vector<std::unique_ptr<TraceChunk>> all_chunks_;
+
+  StopwatchAccum writer_watch_, lreader_watch_, rreader_watch_;
+  std::vector<reach::Label> collection_log_;  // writer-thread only
+};
+
+}  // namespace pint::pintd

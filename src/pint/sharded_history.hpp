@@ -1,0 +1,111 @@
+#pragma once
+
+// Sharded access history - this repository's implementation of the paper's
+// §VI future-work direction: "parallelize the treap accesses since they are
+// increasingly more likely to become the bottleneck".
+//
+// Instead of one worker per ROLE (writer / left-most / right-most), N
+// history workers each own all three stores for a disjoint ADDRESS STRIPE
+// set (64 KiB stripes, round-robin).  Every worker consumes the same
+// access-history queue in the same DAG-conforming order and applies only
+// the pieces of each interval that fall into its stripes.
+//
+// Soundness: each byte belongs to exactly one shard, whose worker maintains
+// the full (last-writer, left-most-reader, right-most-reader) summary for
+// it and observes all strands in the single global order - so per byte the
+// algorithm is literally the original one, and Theorem 5's argument applies
+// shard-by-shard.  No synchronization between shards is ever needed; the
+// only cost is that a large interval is processed as one piece per stripe
+// it spans (still ~8000x coarser than per-granule work).
+
+#include <cstdint>
+
+#include "detect/history.hpp"
+#include "support/timer.hpp"
+#include "treap/interval_treap.hpp"
+
+namespace pint::pintd {
+
+/// Stripe size: big enough that treap operations stay coarse, small enough
+/// that a benchmark's working set spreads across shards.
+constexpr std::uint64_t kShardStripeBytes = std::uint64_t(1) << 16;
+
+/// Invokes fn(piece_lo, piece_hi) for the parts of [lo, hi] whose stripe
+/// index maps to `shard` (stripe_index % nshards == shard).
+template <class F>
+inline void for_shard_pieces(detect::addr_t lo, detect::addr_t hi, int shard,
+                             int nshards, F&& fn) {
+  std::uint64_t stripe = lo / kShardStripeBytes;
+  const std::uint64_t last = hi / kShardStripeBytes;
+  for (; stripe <= last; ++stripe) {
+    if (int(stripe % std::uint64_t(nshards)) != shard) continue;
+    const detect::addr_t slo = stripe * kShardStripeBytes;
+    const detect::addr_t shi = slo + kShardStripeBytes - 1;
+    fn(lo > slo ? lo : slo, hi < shi ? hi : shi);
+  }
+}
+
+/// One history shard: the full three-store summary for its stripes.
+struct HistoryShard {
+  treap::IntervalTreap writer;
+  treap::IntervalTreap lreader;
+  treap::IntervalTreap rreader;
+  StopwatchAccum watch;
+
+  HistoryShard(std::uint64_t seed_w, std::uint64_t seed_l, std::uint64_t seed_r)
+      : writer(seed_w), lreader(seed_l), rreader(seed_r) {}
+
+  /// Applies one strand record to this shard (reads checked then inserted,
+  /// writes checked against all three stores then inserted, clears/frees
+  /// erased) - the same order as the three dedicated workers use, restricted
+  /// to this shard's stripes.
+  void process(const detect::Strand& s, int shard, int nshards,
+               reach::Engine& reach, detect::RaceReporter& rep,
+               detect::Stats& stats) {
+    using detect::ReaderSide;
+    const treap::Accessor me = detect::accessor_of(s);
+
+    for (const detect::Interval& r : s.reads.items()) {
+      for_shard_pieces(r.lo, r.hi, shard, nshards, [&](auto lo, auto hi) {
+        writer.query(lo, hi,
+                     detect::make_conflict_cb(me, true, false, reach, rep, stats));
+      });
+    }
+    for (const detect::Interval& w : s.writes.items()) {
+      for_shard_pieces(w.lo, w.hi, shard, nshards, [&](auto lo, auto hi) {
+        lreader.query(lo, hi,
+                      detect::make_conflict_cb(me, false, true, reach, rep, stats));
+        rreader.query(lo, hi,
+                      detect::make_conflict_cb(me, false, true, reach, rep, stats));
+        writer.insert_writer(
+            lo, hi, me, detect::make_conflict_cb(me, true, true, reach, rep, stats));
+      });
+    }
+    const auto lresolve =
+        detect::make_reader_resolver(me, reach, stats, ReaderSide::kLeftMost);
+    const auto rresolve =
+        detect::make_reader_resolver(me, reach, stats, ReaderSide::kRightMost);
+    for (const detect::Interval& r : s.reads.items()) {
+      for_shard_pieces(r.lo, r.hi, shard, nshards, [&](auto lo, auto hi) {
+        lreader.insert_reader(lo, hi, me, lresolve);
+        rreader.insert_reader(lo, hi, me, rresolve);
+      });
+    }
+    for (const detect::Interval& c : s.clears) {
+      for_shard_pieces(c.lo, c.hi, shard, nshards, [&](auto lo, auto hi) {
+        writer.erase_range(lo, hi);
+        lreader.erase_range(lo, hi);
+        rreader.erase_range(lo, hi);
+      });
+    }
+    for (const detect::HeapFree& f : s.frees) {
+      for_shard_pieces(f.lo, f.hi, shard, nshards, [&](auto lo, auto hi) {
+        writer.erase_range(lo, hi);
+        lreader.erase_range(lo, hi);
+        rreader.erase_range(lo, hi);
+      });
+    }
+  }
+};
+
+}  // namespace pint::pintd

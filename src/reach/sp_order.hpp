@@ -1,0 +1,95 @@
+#pragma once
+
+// SP-order reachability for series-parallel DAGs (the WSP-Order component).
+//
+// Each strand carries a Label = one position in the "English" order and one
+// in the "Hebrew" order (Bender et al. SPAA'04; parallelized as in WSP-Order,
+// Utterback et al. SPAA'16).  For two distinct strands u, v:
+//
+//     u ~> v (series)  <=>  u precedes v in BOTH orders
+//     u  ||  v         <=>  the two orders disagree
+//
+// Maintenance at a spawn of strand u (child c, continuation t):
+//     English:  ... u, c, t ...      (child first)
+//     Hebrew:   ... u, t, c ...      (continuation first)
+//
+// The sync node j of a sync block is positioned at the FIRST spawn of the
+// block: English right after t, Hebrew right after c.  Every later insertion
+// belonging to the block lands strictly inside the (u, j) window of both
+// orders, so j ends up in series with the entire block - this is how the
+// detector knows the label of the strand that follows the sync before the
+// sync is reached.
+//
+// All operations are thread-safe; precedes() is lock-free (see om::List).
+
+#include "om/order_maintenance.hpp"
+
+namespace pint::reach {
+
+/// A strand's position in the two total orders. Labels are immutable once
+/// published and live for the entire detection run (treaps keep them after
+/// the strand record is recycled).
+struct Label {
+  om::Item* eng = nullptr;
+  om::Item* heb = nullptr;
+  bool valid() const { return eng != nullptr; }
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Label of the initial strand (the whole computation's first strand).
+  Label root_label() { return {eng_.base(), heb_.base()}; }
+
+  struct SpawnLabels {
+    Label child;  // first strand of the spawned function
+    Label cont;   // continuation strand of the parent
+  };
+
+  /// Called when strand `u` executes a spawn. If `*sync_node` is invalid
+  /// this spawn opens a new sync block and the sync node's label is created
+  /// and stored there.
+  SpawnLabels on_spawn(const Label& u, Label* sync_node) {
+    SpawnLabels out;
+    out.child.eng = eng_.insert_after(u.eng);
+    out.cont.eng = eng_.insert_after(out.child.eng);
+    out.cont.heb = heb_.insert_after(u.heb);
+    out.child.heb = heb_.insert_after(out.cont.heb);
+    if (!sync_node->valid()) {
+      sync_node->eng = eng_.insert_after(out.cont.eng);
+      sync_node->heb = heb_.insert_after(out.child.heb);
+    }
+    return out;
+  }
+
+  /// u ~> v : is u in series with (an ancestor of) v?
+  bool precedes(const Label& u, const Label& v) const {
+    return eng_.precedes(u.eng, v.eng) && heb_.precedes(u.heb, v.heb);
+  }
+
+  /// u || v : logically parallel (neither reaches the other).
+  bool parallel(const Label& u, const Label& v) const {
+    const bool e = eng_.precedes(u.eng, v.eng);
+    const bool h = heb_.precedes(u.heb, v.heb);
+    return e != h;
+  }
+
+  /// For two *parallel* strands: is u left of v in the left-to-right
+  /// depth-first execution order? (Used by the left/right-most reader
+  /// treaps.) Equivalent to English-order comparison.
+  bool left_of(const Label& u, const Label& v) const {
+    return eng_.precedes(u.eng, v.eng);
+  }
+
+  om::List& english() { return eng_; }
+  om::List& hebrew() { return heb_; }
+
+ private:
+  om::List eng_;
+  om::List heb_;
+};
+
+}  // namespace pint::reach

@@ -1,0 +1,92 @@
+#pragma once
+
+// Chase-Lev work-stealing deque (Le et al., PPoPP'13 weak-memory version).
+//
+// The owner pushes/pops continuation records at the bottom; thieves steal
+// from the top (the OLDEST continuation), which is what makes a worker's
+// execution between successful steals follow the sequential order - the
+// property PINT's trace data structure depends on (paper Lemma 1).
+//
+// Capacity is fixed: the deque only ever holds one pending continuation per
+// suspended frame on this worker, i.e. its size is bounded by the spawn
+// nesting depth.  Overflow is a hard error rather than a silent resize.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "support/assert.hpp"
+
+namespace pint::rt {
+
+struct TaskFrame;
+
+class WsDeque {
+ public:
+  explicit WsDeque(std::size_t capacity_pow2 = 1 << 13)
+      : mask_(capacity_pow2 - 1),
+        buf_(new std::atomic<TaskFrame*>[capacity_pow2]) {
+    PINT_CHECK_MSG((capacity_pow2 & mask_) == 0, "capacity must be a power of 2");
+  }
+
+  /// Owner only.
+  void push(TaskFrame* f) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    PINT_CHECK_MSG(b - t <= static_cast<std::int64_t>(mask_),
+                   "work-stealing deque overflow (spawn nesting too deep)");
+    buf_[b & mask_].store(f, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only. Returns nullptr if the deque is empty (i.e. the youngest
+  /// continuation was stolen).
+  TaskFrame* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {  // already empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    TaskFrame* f = buf_[b & mask_].load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race against thieves for it.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        f = nullptr;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return f;
+  }
+
+  /// Thieves. Returns nullptr on empty or lost race.
+  TaskFrame* steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    TaskFrame* f = buf_[t & mask_].load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return f;
+  }
+
+  bool empty() const {
+    return top_.load(std::memory_order_acquire) >=
+           bottom_.load(std::memory_order_acquire);
+  }
+
+ private:
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  const std::size_t mask_;
+  std::unique_ptr<std::atomic<TaskFrame*>[]> buf_;
+};
+
+}  // namespace pint::rt

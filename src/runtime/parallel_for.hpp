@@ -1,0 +1,55 @@
+#pragma once
+
+// Convenience loop skeletons over the fork-join runtime: recursive binary
+// splitting with a grain size, the idiom every benchmark kernel hand-rolls.
+// Both must be called from inside a running task (Scheduler::run body).
+
+#include <cstddef>
+#include <utility>
+
+#include "runtime/scheduler.hpp"
+
+namespace pint::rt {
+
+/// Invokes body(i) for i in [begin, end), in parallel, splitting ranges
+/// down to `grain` iterations. body must be safe to run concurrently on
+/// disjoint indices.
+template <class F>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const F& body) {
+  if (begin >= end) return;
+  if (end - begin <= grain) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::size_t mid = begin + (end - begin) / 2;
+  SpawnScope sc;
+  sc.spawn([&, begin, mid] { parallel_for(begin, mid, grain, body); });
+  parallel_for(mid, end, grain, body);
+  sc.sync();
+}
+
+/// Parallel reduction: combine(acc, leaf(i)) over [begin, end) with an
+/// associative `combine`; `init` is the identity. Each branch reduces its
+/// half into a local accumulator, so no sharing or locking occurs.
+template <class T, class Leaf, class Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                  T init, const Leaf& leaf, const Combine& combine) {
+  if (begin >= end) return init;
+  if (end - begin <= grain) {
+    T acc = init;
+    for (std::size_t i = begin; i < end; ++i) acc = combine(acc, leaf(i));
+    return acc;
+  }
+  const std::size_t mid = begin + (end - begin) / 2;
+  T left = init;
+  SpawnScope sc;
+  sc.spawn([&, begin, mid] {
+    left = parallel_reduce(begin, mid, grain, init, leaf, combine);
+  });
+  const T right = parallel_reduce(mid, end, grain, init, leaf, combine);
+  sc.sync();
+  return combine(left, right);
+}
+
+}  // namespace pint::rt

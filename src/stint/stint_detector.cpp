@@ -1,0 +1,201 @@
+#include "stint/stint_detector.hpp"
+
+#include <cstdlib>
+
+#include "detect/instrument.hpp"
+#include "support/rng.hpp"
+
+namespace pint::stint {
+
+using detect::Strand;
+
+StintDetector::StintDetector(const Options& opt)
+    : opt_(opt),
+      writer_treap_(opt.seed * 2 + 1),
+      reader_treap_(opt.seed * 2 + 2) {
+  rep_.set_verbose(opt_.verbose_races);
+}
+
+StintDetector::~StintDetector() {
+  for (Strand* s : owned_) delete s;
+}
+
+Strand* StintDetector::alloc_strand() {
+  Strand* s = free_list_;
+  if (s != nullptr) {
+    free_list_ = s->pool_next;
+  } else {
+    s = new Strand();
+    owned_.push_back(s);
+  }
+  s->reset(++next_sid_);
+  ++strands_;
+  return s;
+}
+
+void StintDetector::recycle_strand(Strand* s) {
+  s->pool_next = free_list_;
+  free_list_ = s;
+}
+
+void StintDetector::seal_strand(Strand* s) {
+  s->reads.finalize(opt_.coalesce);
+  s->writes.finalize(opt_.coalesce);
+  read_intervals_ += s->reads.items().size();
+  write_intervals_ += s->writes.items().size();
+}
+
+void StintDetector::process_strand(Strand* s) {
+  seal_strand(s);
+  writer_watch_.start();
+  if (opt_.history == detect::HistoryKind::kTreap) {
+    detect::process_writer_treap(writer_treap_, *s, reach_, rep_, stats_);
+  } else {
+    detect::process_writer_treap(writer_map_, *s, reach_, rep_, stats_);
+  }
+  writer_watch_.stop();
+  reader_watch_.start();
+  if (opt_.history == detect::HistoryKind::kTreap) {
+    detect::process_reader_treap(reader_treap_, *s, reach_, rep_, stats_,
+                                 detect::ReaderSide::kSerial);
+  } else {
+    detect::process_reader_treap(reader_map_, *s, reach_, rep_, stats_,
+                                 detect::ReaderSide::kSerial);
+  }
+  reader_watch_.stop();
+  recycle_strand(s);
+}
+
+// --- memory events -----------------------------------------------------
+
+void StintDetector::on_access(rt::Worker&, rt::TaskFrame& f, detect::addr_t lo,
+                              detect::addr_t hi, bool is_write) {
+  auto* s = static_cast<Strand*>(f.det_strand);
+  PINT_ASSERT(s != nullptr);
+  if (is_write) {
+    ++raw_writes_;
+    if (opt_.coalesce) {
+      s->writes.add(lo, hi);
+    } else {
+      s->writes.add_raw(lo, hi);
+    }
+  } else {
+    ++raw_reads_;
+    if (opt_.coalesce) {
+      s->reads.add(lo, hi);
+    } else {
+      s->reads.add_raw(lo, hi);
+    }
+  }
+}
+
+void StintDetector::on_heap_free(rt::Worker&, rt::TaskFrame& f, void* base,
+                                 detect::addr_t lo, detect::addr_t hi) {
+  // Synchronous detector: the memory may be handed back to the allocator at
+  // once - any strand that reuses it is processed after this strand (serial
+  // order), by which point the range below has been erased.
+  std::free(base);
+  auto* s = static_cast<Strand*>(f.det_strand);
+  s->frees.push_back({nullptr, lo, hi});
+}
+
+// --- control events (serial execution: nothing is ever stolen) ---------
+
+void StintDetector::on_root_start(rt::Worker&, rt::TaskFrame& f) {
+  Strand* r = alloc_strand();
+  r->label = reach_.root_label();
+  r->tag = f.task_name;
+  f.det_strand = r;
+}
+
+void StintDetector::on_root_end(rt::Worker&, rt::TaskFrame& f) {
+  auto* u = static_cast<Strand*>(f.det_strand);
+  u->clears.push_back({f.fiber->stack_lo(), f.fiber->stack_hi() - 1});
+  process_strand(u);
+  f.det_strand = nullptr;
+}
+
+void StintDetector::on_spawn(rt::Worker&, rt::TaskFrame& parent,
+                             rt::SyncBlock& blk, rt::TaskFrame& child) {
+  auto* u = static_cast<Strand*>(parent.det_strand);
+  auto* j = static_cast<Strand*>(blk.det_sync);
+  if (j == nullptr) {
+    j = alloc_strand();
+    blk.det_sync = j;
+  }
+  if (j->tag == nullptr) j->tag = parent.task_name;
+  const auto labels = reach_.on_spawn(u->label, &j->label);
+  Strand* g = alloc_strand();
+  g->label = labels.child;
+  g->tag = child.task_name;
+  Strand* t = alloc_strand();
+  t->label = labels.cont;
+  t->tag = parent.task_name;
+  child.det_strand = g;
+  parent.det_cont = t;
+  process_strand(u);
+}
+
+void StintDetector::on_spawn_return(rt::Worker&, rt::TaskFrame& child,
+                                    bool continuation_stolen) {
+  PINT_CHECK_MSG(!continuation_stolen, "STINT must run on one worker");
+  auto* u = static_cast<Strand*>(child.det_strand);
+  u->clears.push_back({child.fiber->stack_lo(), child.fiber->stack_hi() - 1});
+  process_strand(u);
+  child.det_strand = nullptr;
+}
+
+void StintDetector::on_continuation(rt::Worker&, rt::TaskFrame& parent,
+                                    bool stolen) {
+  PINT_CHECK_MSG(!stolen, "STINT must run on one worker");
+  parent.det_strand = parent.det_cont;
+  parent.det_cont = nullptr;
+}
+
+void StintDetector::on_sync(rt::Worker&, rt::TaskFrame& f, rt::SyncBlock& blk,
+                            bool trivial) {
+  PINT_CHECK_MSG(trivial, "STINT must run on one worker");
+  if (blk.det_sync == nullptr) return;  // no spawn since the last sync
+  process_strand(static_cast<Strand*>(f.det_strand));
+  f.det_strand = nullptr;
+}
+
+void StintDetector::on_after_sync(rt::Worker&, rt::TaskFrame& f,
+                                  rt::SyncBlock& blk, bool) {
+  auto* j = static_cast<Strand*>(blk.det_sync);
+  if (j == nullptr) return;
+  f.det_strand = j;
+  blk.det_sync = nullptr;
+}
+
+// --- run ----------------------------------------------------------------
+
+void StintDetector::run(std::function<void()> fn) {
+  PINT_CHECK_MSG(!used_, "StintDetector instances are single-use");
+  used_ = true;
+
+  rt::Scheduler::Options so;
+  so.workers = 1;  // STINT executes the computation sequentially
+  so.hooks = this;
+  so.stack_bytes = opt_.stack_bytes;
+  so.seed = opt_.seed;
+  rt::Scheduler sched(so);
+
+  detect::set_active_detector(this);
+  Timer total;
+  sched.run([&] { fn(); });
+  stats_.total_ns.store(total.elapsed_ns());
+  detect::set_active_detector(nullptr);
+
+  stats_.raw_reads.store(raw_reads_);
+  stats_.raw_writes.store(raw_writes_);
+  stats_.read_intervals.store(read_intervals_);
+  stats_.write_intervals.store(write_intervals_);
+  stats_.strands.store(strands_);
+  stats_.writer_ns.store(writer_watch_.total_ns());
+  stats_.lreader_ns.store(reader_watch_.total_ns());
+  stats_.core_ns.store(total.elapsed_ns() - writer_watch_.total_ns() -
+                       reader_watch_.total_ns());
+}
+
+}  // namespace pint::stint

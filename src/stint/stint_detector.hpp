@@ -1,0 +1,101 @@
+#pragma once
+
+// STINT baseline (Xu et al., ALENEX'22): the *sequential* interval-based
+// race detector PINT parallelizes.
+//
+// STINT executes the task-parallel program on one worker (the serial
+// elision order), coalesces each strand's accesses into intervals with the
+// same mechanism PINT uses, and maintains a synchronous two-treap access
+// history: one last-writer treap and one reader treap holding the single
+// relevant reader per interval (the Feng-Leiserson serial rule: a new
+// reader replaces the stored one only when the stored one precedes it).
+//
+// Everything - race checks, inserts, stack clearing, heap frees - happens
+// inline at the end of each strand, on the single execution thread.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "detect/history.hpp"
+#include "detect/report.hpp"
+#include "detect/stats.hpp"
+#include "detect/strand.hpp"
+#include "reach/sp_order.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/timer.hpp"
+#include "treap/interval_treap.hpp"
+
+namespace pint::stint {
+
+class StintDetector final : public detect::Detector, public rt::SchedulerHooks {
+ public:
+  struct Options {
+    bool coalesce = true;
+    /// Interval treap (the STINT design) or per-granule hashmap (ablation).
+    detect::HistoryKind history = detect::HistoryKind::kTreap;
+    std::size_t stack_bytes = std::size_t(1) << 18;
+    bool verbose_races = false;
+    std::uint64_t seed = 42;
+  };
+
+  StintDetector() : StintDetector(Options{}) {}
+  explicit StintDetector(const Options& opt);
+  ~StintDetector() override;
+
+  /// Executes fn() sequentially under race detection. Single-use.
+  void run(std::function<void()> fn);
+
+  detect::RaceReporter& reporter() { return rep_; }
+  const detect::Stats& stats() const { return stats_; }
+
+  // --- detect::Detector ---
+  void on_access(rt::Worker& w, rt::TaskFrame& f, detect::addr_t lo,
+                 detect::addr_t hi, bool is_write) override;
+  void on_heap_free(rt::Worker& w, rt::TaskFrame& f, void* base,
+                    detect::addr_t lo, detect::addr_t hi) override;
+  const char* name() const override { return "STINT"; }
+
+  // --- rt::SchedulerHooks ---
+  void on_root_start(rt::Worker& w, rt::TaskFrame& f) override;
+  void on_root_end(rt::Worker& w, rt::TaskFrame& f) override;
+  void on_spawn(rt::Worker& w, rt::TaskFrame& parent, rt::SyncBlock& blk,
+                rt::TaskFrame& child) override;
+  void on_spawn_return(rt::Worker& w, rt::TaskFrame& child,
+                       bool continuation_stolen) override;
+  void on_continuation(rt::Worker& w, rt::TaskFrame& parent, bool stolen) override;
+  void on_sync(rt::Worker& w, rt::TaskFrame& f, rt::SyncBlock& blk,
+               bool trivial) override;
+  void on_after_sync(rt::Worker& w, rt::TaskFrame& f, rt::SyncBlock& blk,
+                     bool trivial) override;
+
+ private:
+  detect::Strand* alloc_strand();
+  void recycle_strand(detect::Strand* s);
+  /// Synchronous end-of-strand processing: check + insert + clear, then
+  /// recycle the record.
+  void process_strand(detect::Strand* s);
+  void seal_strand(detect::Strand* s);
+
+  Options opt_;
+  reach::Engine reach_;
+  detect::RaceReporter rep_;
+  detect::Stats stats_;
+  treap::IntervalTreap writer_treap_;
+  treap::IntervalTreap reader_treap_;
+  detect::GranuleMap writer_map_;
+  detect::GranuleMap reader_map_;
+
+  detect::Strand* free_list_ = nullptr;
+  std::vector<detect::Strand*> owned_;
+  std::uint64_t next_sid_ = 0;
+  std::uint64_t raw_reads_ = 0, raw_writes_ = 0;
+  std::uint64_t read_intervals_ = 0, write_intervals_ = 0;
+  std::uint64_t strands_ = 0;
+  StopwatchAccum writer_watch_, reader_watch_;
+  bool used_ = false;
+};
+
+}  // namespace pint::stint

@@ -1,0 +1,50 @@
+#pragma once
+
+// Lightweight assertion / hint macros used across the library.
+//
+// PINT_ASSERT  - debug-only invariant check (compiled out in NDEBUG builds).
+// PINT_CHECK   - always-on check for conditions that must hold even in
+//                release builds (cheap, on error paths only).
+// PINT_UNREACHABLE - marks impossible control flow.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pint {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "PINT assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace pint
+
+#define PINT_CHECK(expr)                                            \
+  do {                                                              \
+    if (!(expr)) ::pint::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define PINT_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) ::pint::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifndef NDEBUG
+#define PINT_ASSERT(expr) PINT_CHECK(expr)
+#else
+#define PINT_ASSERT(expr) ((void)0)
+#endif
+
+#define PINT_UNREACHABLE() ::pint::assert_fail("unreachable", __FILE__, __LINE__, "")
+
+#if defined(__GNUC__)
+#define PINT_LIKELY(x) __builtin_expect(!!(x), 1)
+#define PINT_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define PINT_NOINLINE __attribute__((noinline))
+#else
+#define PINT_LIKELY(x) (x)
+#define PINT_UNLIKELY(x) (x)
+#define PINT_NOINLINE
+#endif

@@ -1,0 +1,126 @@
+#include "support/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <new>
+
+#include "support/assert.hpp"
+
+#if !defined(__x86_64__)
+#error "fiber.cpp implements the context switch for x86-64 SysV only"
+#endif
+
+// pint_ctx_switch(void** save_sp, void* load_sp)
+//
+// Saves callee-saved GPRs + rsp of the caller into *save_sp's stack, then
+// installs load_sp and restores the registers the target context saved when
+// it last suspended.  A brand-new fiber's stack is crafted (below) so the
+// final `ret` lands in pint_fiber_thunk with r12 = arg and rbx = entry.
+__asm__(
+    ".text\n"
+    ".globl pint_ctx_switch\n"
+    ".type pint_ctx_switch,@function\n"
+    ".align 16\n"
+    "pint_ctx_switch:\n"
+    "  pushq %rbp\n"
+    "  pushq %rbx\n"
+    "  pushq %r12\n"
+    "  pushq %r13\n"
+    "  pushq %r14\n"
+    "  pushq %r15\n"
+    "  movq %rsp, (%rdi)\n"
+    "  movq %rsi, %rsp\n"
+    "  popq %r15\n"
+    "  popq %r14\n"
+    "  popq %r13\n"
+    "  popq %r12\n"
+    "  popq %rbx\n"
+    "  popq %rbp\n"
+    "  ret\n"
+    ".size pint_ctx_switch,.-pint_ctx_switch\n"
+    "\n"
+    ".globl pint_fiber_thunk\n"
+    ".type pint_fiber_thunk,@function\n"
+    ".align 16\n"
+    "pint_fiber_thunk:\n"
+    "  movq %r12, %rdi\n"   // arg
+    "  pushq $0\n"          // align rsp to 16 before the call
+    "  callq *%rbx\n"       // entry(arg) -- must never return
+    "  ud2\n"
+    ".size pint_fiber_thunk,.-pint_fiber_thunk\n");
+
+extern "C" void pint_ctx_switch(void** save_sp, void* load_sp);
+extern "C" void pint_fiber_thunk();
+
+namespace pint {
+
+void ctx_switch(Context& save, Context& load) {
+  pint_ctx_switch(&save.sp, load.sp);
+}
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t p = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return p;
+}
+
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+// Builds the initial stack image so that switching into the context runs
+// pint_fiber_thunk with r12 = arg and rbx = entry.  Layout mirrors the pop
+// sequence in pint_ctx_switch.
+void* make_initial_sp(void* stack_base, std::size_t stack_size,
+                      Fiber::Entry entry, void* arg) {
+  auto top = reinterpret_cast<std::uintptr_t>(stack_base) + stack_size;
+  top &= ~std::uintptr_t(15);  // 16-byte aligned stack top
+  auto* slots = reinterpret_cast<void**>(top);
+  // slots[-1] : fake return address (0) above the thunk frame
+  // slots[-2] : ret target = pint_fiber_thunk
+  // slots[-3..-8] : rbp, rbx, r12, r13, r14, r15
+  slots[-1] = nullptr;
+  slots[-2] = reinterpret_cast<void*>(&pint_fiber_thunk);
+  slots[-3] = nullptr;                          // rbp
+  slots[-4] = reinterpret_cast<void*>(entry);   // rbx
+  slots[-5] = arg;                              // r12
+  slots[-6] = nullptr;                          // r13
+  slots[-7] = nullptr;                          // r14
+  slots[-8] = nullptr;                          // r15
+  return static_cast<void*>(slots - 8);
+}
+
+}  // namespace
+
+Fiber* Fiber::create(std::size_t stack_bytes, Entry entry, void* arg) {
+  const std::size_t pg = page_size();
+  const std::size_t usable = round_up(stack_bytes < pg ? pg : stack_bytes, pg);
+  const std::size_t total = usable + pg;  // + guard page
+
+  void* map = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  PINT_CHECK_MSG(map != MAP_FAILED, "fiber stack mmap failed");
+  PINT_CHECK(::mprotect(map, pg, PROT_NONE) == 0);
+
+  auto* f = new Fiber();
+  f->map_base_ = map;
+  f->map_size_ = total;
+  f->stack_base_ = static_cast<char*>(map) + pg;
+  f->stack_size_ = usable;
+  f->reset(entry, arg);
+  return f;
+}
+
+void Fiber::reset(Entry entry, void* arg) {
+  ctx_.sp = make_initial_sp(stack_base_, stack_size_, entry, arg);
+}
+
+void Fiber::destroy() {
+  ::munmap(map_base_, map_size_);
+  delete this;
+}
+
+}  // namespace pint

@@ -1,0 +1,71 @@
+#pragma once
+
+// Spinlocks and backoff helpers.
+//
+// The runtime oversubscribes cores (worker threads + treap workers can
+// exceed hardware threads), so every spin loop must eventually yield to the
+// OS scheduler or it can livelock on small machines.  Backoff centralises
+// that policy.
+
+#include <atomic>
+#include <thread>
+
+namespace pint {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Exponential-ish backoff: pause a few times, then yield to the OS.
+class Backoff {
+ public:
+  void pause() {
+    if (count_ < kSpinLimit) {
+      for (int i = 0; i < (1 << count_); ++i) cpu_relax();
+      ++count_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  void reset() { count_ = 0; }
+
+ private:
+  static constexpr int kSpinLimit = 6;
+  int count_ = 0;
+};
+
+/// Minimal test-and-test-and-set spinlock with yield fallback.
+class Spinlock {
+ public:
+  void lock() {
+    Backoff bo;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) bo.pause();
+    }
+  }
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// RAII guard (std::lock_guard works too; this avoids <mutex> include).
+template <class Lock>
+class LockGuard {
+ public:
+  explicit LockGuard(Lock& l) : l_(l) { l_.lock(); }
+  ~LockGuard() { l_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Lock& l_;
+};
+
+}  // namespace pint

@@ -1,0 +1,55 @@
+#pragma once
+
+// Wall-clock timing helpers for the benchmark harness and component
+// work-breakdown accounting (paper Fig. 2).
+
+#include <ctime>
+
+#include <chrono>
+#include <cstdint>
+
+namespace pint {
+
+inline std::uint64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// CPU time consumed by the calling thread. Used for component busy-time
+/// accounting: on an oversubscribed machine wall time would charge a worker
+/// for intervals it spent preempted.
+inline std::uint64_t thread_cpu_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return std::uint64_t(ts.tv_sec) * 1000000000ull + std::uint64_t(ts.tv_nsec);
+}
+
+class Timer {
+ public:
+  Timer() : start_(now_ns()) {}
+  void reset() { start_ = now_ns(); }
+  std::uint64_t elapsed_ns() const { return now_ns() - start_; }
+  double elapsed_s() const { return double(elapsed_ns()) * 1e-9; }
+
+ private:
+  std::uint64_t start_;
+};
+
+/// Accumulates per-thread CPU time across many disjoint measured sections;
+/// used by treap workers to attribute their processing time (Fig. 2 work
+/// breakdown). Sections must start and stop on the same thread.
+class StopwatchAccum {
+ public:
+  void start() { t0_ = thread_cpu_ns(); }
+  void stop() { total_ += thread_cpu_ns() - t0_; }
+  std::uint64_t total_ns() const { return total_; }
+  double total_s() const { return double(total_) * 1e-9; }
+  void clear() { total_ = 0; }
+
+ private:
+  std::uint64_t t0_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pint

@@ -1,0 +1,308 @@
+#pragma once
+
+// Non-overlapping interval treap (the STINT access-history structure).
+//
+// Stores disjoint, inclusive byte intervals [lo, hi], each owned by one
+// accessor (a strand's reachability label + id), in a treap keyed by `lo`
+// with random heap priorities.  The no-overlap invariant means interval
+// endpoints are sorted consistently with the keys, which the query path
+// exploits for pruning.
+//
+// Three mutation flavors match the three roles a treap plays in PINT:
+//
+//  * insert_writer  - "last writer" semantics: every overlapped segment is
+//    reported to a callback (race check), then the new accessor replaces the
+//    overlap exactly; partially-overlapped old intervals are truncated, e.g.
+//    {[1,4]:u, [6,10]:v} + write [3,7]:w  =>  {[1,2]:u, [3,7]:w, [8,10]:v}.
+//  * insert_reader  - "relevant reader" semantics: each overlapped segment
+//    keeps either the previous or the new accessor, decided by a resolver
+//    (series => new; parallel => left/right-most by English order); gaps
+//    inside [lo, hi] always take the new accessor.
+//  * erase_range    - clears [lo, hi] (stack-frame clearing at spawned
+//    function return, and freed heap ranges; paper §III-F).
+//
+// The treap is strictly sequential - in PINT each instance is owned by one
+// treap worker; in STINT everything runs on one thread (paper §III-C).
+
+#include <cstdint>
+#include <vector>
+
+#include "reach/sp_order.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace pint::treap {
+
+using addr_t = std::uint64_t;
+
+/// Persistent identity of an interval's accessor. Kept in the treap after
+/// the transient strand record is recycled (labels live in the OM arenas).
+struct Accessor {
+  reach::Label label;
+  std::uint64_t sid = 0;  // strand id, for reporting and self-access checks
+  const char* tag = nullptr;  // optional task name, surfaced in race reports
+};
+
+class IntervalTreap {
+ public:
+  explicit IntervalTreap(std::uint64_t seed = 0x51A7EEDULL) : rng_(seed) {}
+  ~IntervalTreap() {
+    for (Node* c : chunks_) delete[] c;
+  }
+  IntervalTreap(const IntervalTreap&) = delete;
+  IntervalTreap& operator=(const IntervalTreap&) = delete;
+
+  /// Invokes cb(seg_lo, seg_hi, accessor) for every stored segment
+  /// overlapping [lo, hi], in address order. Non-mutating.
+  template <class F>
+  void query(addr_t lo, addr_t hi, F&& cb) const {
+    query_rec(root_, lo, hi, cb);
+  }
+
+  /// Last-writer insert: cb(seg_lo, seg_hi, prev_accessor) per overlap, then
+  /// [lo, hi] is owned by `a`.
+  template <class F>
+  void insert_writer(addr_t lo, addr_t hi, const Accessor& a, F&& cb) {
+    Node *left, *right;
+    carve(lo, hi, &left, &right);
+    for (const Piece& p : scratch_) cb(p.lo, p.hi, p.who);
+    root_ = merge(merge(left, make_node(lo, hi, a)), right);
+  }
+
+  /// Reader insert: for each overlapped segment, `resolve(prev, a)` returns
+  /// true if the NEW accessor wins the segment; gaps take the new accessor.
+  /// Adjacent result segments with the same winner are coalesced.
+  template <class R>
+  void insert_reader(addr_t lo, addr_t hi, const Accessor& a, R&& resolve) {
+    Node *left, *right;
+    carve(lo, hi, &left, &right);
+    // Build the winner cover of [lo, hi] in address order.
+    pieces_out_.clear();
+    addr_t cursor = lo;
+    for (const Piece& p : scratch_) {
+      if (p.lo > cursor) push_piece(cursor, p.lo - 1, a);
+      const Accessor& w = resolve(p.who, a) ? a : p.who;
+      push_piece(p.lo, p.hi, w);
+      cursor = p.hi + 1;
+    }
+    if (cursor <= hi) push_piece(cursor, hi, a);
+    Node* mid = nullptr;
+    for (const Piece& p : pieces_out_) mid = merge(mid, make_node(p.lo, p.hi, p.who));
+    root_ = merge(merge(left, mid), right);
+  }
+
+  /// Removes all coverage of [lo, hi], truncating boundary intervals.
+  void erase_range(addr_t lo, addr_t hi) {
+    Node *left, *right;
+    carve(lo, hi, &left, &right);
+    root_ = merge(left, right);
+  }
+
+  bool empty() const { return root_ == nullptr; }
+  std::size_t size() const { return count_rec(root_); }
+
+  /// In-order traversal of all stored intervals: cb(lo, hi, accessor).
+  template <class F>
+  void for_each(F&& cb) const {
+    for_each_rec(root_, cb);
+  }
+
+  /// Verifies BST order on lo, the no-overlap invariant, and heap order.
+  bool check_invariants() const {
+    bool ok = true;
+    addr_t prev_hi = 0;
+    bool first = true;
+    auto visit = [&](addr_t lo, addr_t hi, const Accessor&) {
+      if (lo > hi) ok = false;
+      if (!first && lo <= prev_hi) ok = false;
+      first = false;
+      prev_hi = hi;
+    };
+    for_each_rec(root_, visit);
+    return ok && heap_ok(root_);
+  }
+
+ private:
+  struct Node {
+    addr_t lo = 0, hi = 0;
+    Accessor who;
+    std::uint32_t prio = 0;
+    Node* l = nullptr;
+    Node* r = nullptr;
+  };
+  struct Piece {
+    addr_t lo, hi;
+    Accessor who;
+  };
+
+  Node* make_node(addr_t lo, addr_t hi, const Accessor& a) {
+    Node* n;
+    if (free_) {
+      n = free_;
+      free_ = n->r;
+    } else {
+      if (used_ == kChunk) {
+        chunks_.push_back(new Node[kChunk]);
+        used_ = 0;
+      }
+      n = &chunks_.back()[used_++];
+    }
+    n->lo = lo;
+    n->hi = hi;
+    n->who = a;
+    n->prio = static_cast<std::uint32_t>(rng_.next());
+    n->l = n->r = nullptr;
+    return n;
+  }
+  void release(Node* n) {
+    n->r = free_;
+    free_ = n;
+  }
+
+  void push_piece(addr_t lo, addr_t hi, const Accessor& w) {
+    if (!pieces_out_.empty() && pieces_out_.back().who.sid == w.sid &&
+        pieces_out_.back().hi + 1 == lo) {
+      pieces_out_.back().hi = hi;  // coalesce same-winner neighbours
+    } else {
+      pieces_out_.push_back({lo, hi, w});
+    }
+  }
+
+  /// Splits by key: a = nodes with node.lo < k, b = the rest.
+  static void split(Node* t, addr_t k, Node** a, Node** b) {
+    if (!t) {
+      *a = *b = nullptr;
+      return;
+    }
+    if (t->lo < k) {
+      split(t->r, k, &t->r, b);
+      *a = t;
+    } else {
+      split(t->l, k, a, &t->l);
+      *b = t;
+    }
+  }
+
+  Node* merge(Node* a, Node* b) {
+    if (!a) return b;
+    if (!b) return a;
+    if (a->prio >= b->prio) {
+      a->r = merge(a->r, b);
+      return a;
+    }
+    b->l = merge(a, b->l);
+    return b;
+  }
+
+  /// Detaches the maximum-key node. Heap order survives because the removed
+  /// node's left child has a smaller priority than the removed node, hence
+  /// than the parent too.
+  static Node* detach_max(Node** t) {
+    if (!*t) return nullptr;
+    Node** link = t;
+    while ((*link)->r) link = &(*link)->r;
+    Node* m = *link;
+    *link = m->l;
+    m->l = nullptr;
+    return m;
+  }
+
+  /// Removes everything overlapping [lo, hi] from the tree, records the
+  /// overlapped segments (trimmed to [lo, hi]) into scratch_ in address
+  /// order, and reattaches truncated boundary remainders to *left / *right.
+  void carve(addr_t lo, addr_t hi, Node** left, Node** right) {
+    scratch_.clear();
+    Node *a, *b;
+    split(root_, lo, &a, &b);
+    root_ = nullptr;
+    Node* rightrem = nullptr;
+
+    Node* pred = detach_max(&a);
+    if (pred) {
+      if (pred->hi < lo) {
+        a = merge(a, pred);  // no overlap; put back
+      } else {
+        scratch_.push_back({lo, pred->hi < hi ? pred->hi : hi, pred->who});
+        if (pred->lo < lo) {
+          Node* lr = make_node(pred->lo, lo - 1, pred->who);
+          a = merge(a, lr);
+        }
+        if (pred->hi > hi) rightrem = make_node(hi + 1, pred->hi, pred->who);
+        release(pred);
+      }
+    }
+
+    Node *m, *c;
+    split(b, hi == kMaxAddr ? kMaxAddr : hi + 1, &m, &c);
+    if (hi == kMaxAddr && c) {
+      // hi+1 would wrap; nothing can start after kMaxAddr anyway.
+      m = merge(m, c);
+      c = nullptr;
+    }
+    collect_overlaps(m, hi, &rightrem);
+    *left = a;
+    *right = merge(rightrem, c);
+  }
+
+  /// In-order walk of the middle tree: all nodes have lo in [lo, hi]; trim
+  /// the last one's tail past hi into *rightrem; release the nodes.
+  void collect_overlaps(Node* n, addr_t hi, Node** rightrem) {
+    if (!n) return;
+    collect_overlaps(n->l, hi, rightrem);
+    scratch_.push_back({n->lo, n->hi < hi ? n->hi : hi, n->who});
+    if (n->hi > hi) {
+      PINT_ASSERT(*rightrem == nullptr);  // only the last node can spill over
+      *rightrem = make_node(hi + 1, n->hi, n->who);
+    }
+    Node* r = n->r;
+    release(n);
+    collect_overlaps(r, hi, rightrem);
+  }
+
+  template <class F>
+  static void query_rec(const Node* n, addr_t lo, addr_t hi, F& cb) {
+    if (!n) return;
+    if (n->lo > hi) {  // n and its right subtree start after the range
+      query_rec(n->l, lo, hi, cb);
+      return;
+    }
+    if (n->hi < lo) {  // n and its left subtree end before the range
+      query_rec(n->r, lo, hi, cb);
+      return;
+    }
+    query_rec(n->l, lo, hi, cb);
+    cb(n->lo > lo ? n->lo : lo, n->hi < hi ? n->hi : hi, n->who);
+    query_rec(n->r, lo, hi, cb);
+  }
+
+  template <class F>
+  static void for_each_rec(const Node* n, F& cb) {
+    if (!n) return;
+    for_each_rec(n->l, cb);
+    cb(n->lo, n->hi, n->who);
+    for_each_rec(n->r, cb);
+  }
+
+  static std::size_t count_rec(const Node* n) {
+    return n ? 1 + count_rec(n->l) + count_rec(n->r) : 0;
+  }
+  static bool heap_ok(const Node* n) {
+    if (!n) return true;
+    if (n->l && n->l->prio > n->prio) return false;
+    if (n->r && n->r->prio > n->prio) return false;
+    return heap_ok(n->l) && heap_ok(n->r);
+  }
+
+  static constexpr addr_t kMaxAddr = ~addr_t(0);
+  static constexpr std::size_t kChunk = 512;
+
+  Node* root_ = nullptr;
+  Xoshiro256 rng_;
+  Node* free_ = nullptr;
+  std::vector<Node*> chunks_;
+  std::size_t used_ = kChunk;
+  std::vector<Piece> scratch_;
+  std::vector<Piece> pieces_out_;
+};
+
+}  // namespace pint::treap

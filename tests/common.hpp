@@ -1,0 +1,239 @@
+#pragma once
+
+// Shared test helpers: run a closure under any of the detectors through one
+// interface, and generate random series-parallel programs for the
+// oracle-comparison property tests.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cracer/cracer_detector.hpp"
+#include "detect/instrument.hpp"
+#include "oracle/oracle_detector.hpp"
+#include "pint/pint_detector.hpp"
+#include "runtime/scheduler.hpp"
+#include "stint/stint_detector.hpp"
+#include "support/rng.hpp"
+
+namespace pint::test {
+
+enum class Det {
+  kStint,
+  kStintMap,  // STINT with the per-granule hashmap history (ablation)
+  kPintSeq,   // one-core phased PINT
+  kPint1,     // PINT, 1 core worker + 3 treap workers
+  kPint2,
+  kPint4,
+  kPintMap,   // PINT pipeline over the hashmap history (ablation)
+  kPintShard3,  // SVI extension: 3 address-sharded history workers
+  kCracer1,
+  kCracer4,
+};
+
+inline const char* det_name(Det d) {
+  switch (d) {
+    case Det::kStint: return "stint";
+    case Det::kStintMap: return "stint_map";
+    case Det::kPintSeq: return "pint_seq";
+    case Det::kPint1: return "pint_w1";
+    case Det::kPint2: return "pint_w2";
+    case Det::kPint4: return "pint_w4";
+    case Det::kPintMap: return "pint_map";
+    case Det::kPintShard3: return "pint_shard3";
+    case Det::kCracer1: return "cracer_w1";
+    case Det::kCracer4: return "cracer_w4";
+  }
+  return "?";
+}
+
+inline const std::vector<Det>& all_detectors() {
+  static const std::vector<Det> v = {
+      Det::kStint,   Det::kStintMap, Det::kPintSeq,    Det::kPint1,
+      Det::kPint2,   Det::kPint4,    Det::kPintMap,    Det::kPintShard3,
+      Det::kCracer1, Det::kCracer4};
+  return v;
+}
+
+struct DetRun {
+  bool any_race = false;
+  std::uint64_t distinct = 0;
+};
+
+/// Runs body() under the given detector configuration.
+inline DetRun run_under(Det d, const std::function<void()>& body,
+                        std::uint64_t seed = 7) {
+  DetRun out;
+  switch (d) {
+    case Det::kStint:
+    case Det::kStintMap: {
+      stint::StintDetector::Options o;
+      o.seed = seed;
+      if (d == Det::kStintMap) o.history = detect::HistoryKind::kGranuleMap;
+      stint::StintDetector det(o);
+      det.run(body);
+      out.any_race = det.reporter().any();
+      out.distinct = det.reporter().distinct_races();
+      break;
+    }
+    case Det::kPintSeq:
+    case Det::kPint1:
+    case Det::kPint2:
+    case Det::kPint4:
+    case Det::kPintMap:
+    case Det::kPintShard3: {
+      pintd::PintDetector::Options o;
+      o.seed = seed;
+      o.parallel_history = d != Det::kPintSeq;
+      o.core_workers =
+          d == Det::kPint2 || d == Det::kPintMap || d == Det::kPintShard3
+              ? 2
+              : d == Det::kPint4 ? 4 : 1;
+      if (d == Det::kPintMap) o.history = detect::HistoryKind::kGranuleMap;
+      if (d == Det::kPintShard3) o.history_shards = 3;
+      pintd::PintDetector det(o);
+      det.run(body);
+      out.any_race = det.reporter().any();
+      out.distinct = det.reporter().distinct_races();
+      break;
+    }
+    case Det::kCracer1:
+    case Det::kCracer4: {
+      cracer::CracerDetector::Options o;
+      o.seed = seed;
+      o.workers = d == Det::kCracer4 ? 4 : 1;
+      cracer::CracerDetector det(o);
+      det.run(body);
+      out.any_race = det.reporter().any();
+      out.distinct = det.reporter().distinct_races();
+      break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Random series-parallel program generator
+// ---------------------------------------------------------------------------
+
+struct Action {
+  std::uint32_t offset;
+  std::uint16_t len;
+  bool write;
+};
+
+struct PNode {
+  std::vector<Action> pre;   // before any spawn
+  std::vector<Action> mid;   // between spawns (continuation strands)
+  std::vector<Action> post;  // after the sync
+  std::vector<std::unique_ptr<PNode>> children;
+};
+
+struct ProgramConfig {
+  int max_depth = 4;
+  int max_children = 3;
+  int max_actions = 4;
+  std::uint32_t pool_bytes = 256;  // small pool => overlaps are likely
+  bool race_free = false;          // partition the pool per node instead
+};
+
+class ProgramGen {
+ public:
+  ProgramGen(std::uint64_t seed, const ProgramConfig& cfg)
+      : rng_(seed), cfg_(cfg) {}
+
+  std::unique_ptr<PNode> generate() { return gen_node(0); }
+
+ private:
+  std::unique_ptr<PNode> gen_node(int depth) {
+    auto n = std::make_unique<PNode>();
+    gen_actions(n->pre);
+    if (depth < cfg_.max_depth && rng_.next_below(100) < 70) {
+      const int k = 1 + int(rng_.next_below(std::uint64_t(cfg_.max_children)));
+      for (int i = 0; i < k; ++i) {
+        n->children.push_back(gen_node(depth + 1));
+        gen_actions(n->mid);
+      }
+    }
+    gen_actions(n->post);
+    return n;
+  }
+
+  void gen_actions(std::vector<Action>& out) {
+    const int k = int(rng_.next_below(std::uint64_t(cfg_.max_actions) + 1));
+    for (int i = 0; i < k; ++i) {
+      std::uint32_t off;
+      std::uint16_t len = std::uint16_t(1 + rng_.next_below(16));
+      if (cfg_.race_free) {
+        // Each node draws from its own 64-byte slab, assigned on first use.
+        if (slab_ == 0) slab_ = next_slab_ += 64;
+        off = std::uint32_t(slab_ - 64 + rng_.next_below(48));
+        len = std::uint16_t(1 + rng_.next_below(16));
+      } else {
+        off = std::uint32_t(rng_.next_below(cfg_.pool_bytes - 16));
+      }
+      out.push_back({off, len, rng_.next_below(2) == 0});
+    }
+    slab_ = 0;  // a fresh slab per strand segment in race-free mode
+  }
+
+  Xoshiro256 rng_;
+  ProgramConfig cfg_;
+  std::uint32_t slab_ = 0;
+  std::uint32_t next_slab_ = 0;
+};
+
+/// Total bytes a race-free program might touch (slabs are handed out
+/// monotonically; bound generously).
+inline std::size_t program_pool_bytes(const ProgramConfig& cfg) {
+  return cfg.race_free ? std::size_t(1) << 20 : cfg.pool_bytes;
+}
+
+inline void exec_node(const PNode& n, unsigned char* base) {
+  auto do_actions = [&](const std::vector<Action>& as) {
+    for (const Action& a : as) {
+      if (a.write) {
+        record_write(base + a.offset, a.len);
+      } else {
+        record_read(base + a.offset, a.len);
+      }
+    }
+  };
+  do_actions(n.pre);
+  if (!n.children.empty()) {
+    rt::SpawnScope sc;
+    std::size_t mid_idx = 0;
+    const std::size_t mid_per_child =
+        n.children.empty() ? 0 : n.mid.size() / n.children.size();
+    for (const auto& c : n.children) {
+      const PNode* cp = c.get();
+      sc.spawn([cp, base] { exec_node(*cp, base); });
+      // A slice of mid actions lands on this continuation strand.
+      for (std::size_t k = 0; k < mid_per_child && mid_idx < n.mid.size();
+           ++k, ++mid_idx) {
+        const Action& a = n.mid[mid_idx];
+        if (a.write) {
+          record_write(base + a.offset, a.len);
+        } else {
+          record_read(base + a.offset, a.len);
+        }
+      }
+    }
+    sc.sync();
+  }
+  do_actions(n.post);
+}
+
+/// Ground truth for a generated program.
+inline bool oracle_any_race(const PNode& prog, std::size_t pool_bytes) {
+  std::vector<unsigned char> pool(pool_bytes, 0);
+  oracle::OracleDetector d;
+  unsigned char* base = pool.data();
+  const PNode* p = &prog;
+  d.run([p, base] { exec_node(*p, base); });
+  return d.any_race();
+}
+
+}  // namespace pint::test

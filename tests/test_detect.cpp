@@ -1,0 +1,223 @@
+// Tests for the detection-layer plumbing: race reporter, instrumentation
+// facade, dmalloc/dfree, and PINT-specific machinery (queue backpressure,
+// strand recycling, stats accounting).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "detect/instrument.hpp"
+#include "detect/report.hpp"
+#include "cracer/cracer_detector.hpp"
+#include "pint/pint_detector.hpp"
+#include "stint/stint_detector.hpp"
+
+using namespace pint;
+
+TEST(Reporter, DedupsByStrandPair) {
+  detect::RaceReporter rep;
+  rep.report(1, true, 2, true, 0, 7);
+  rep.report(1, true, 2, true, 8, 15);   // same pair+kinds: deduped
+  rep.report(2, true, 1, true, 0, 7);    // symmetric: deduped
+  rep.report(1, true, 3, true, 0, 7);    // different pair
+  rep.report(1, false, 2, true, 0, 7);   // different kinds: kept
+  EXPECT_EQ(rep.distinct_races(), 3u);
+  EXPECT_EQ(rep.raw_reports(), 5u);
+  EXPECT_TRUE(rep.any());
+}
+
+TEST(Reporter, RecordsCapped) {
+  detect::RaceReporter rep(4);
+  for (std::uint64_t i = 0; i < 100; ++i) rep.report(i, true, i + 1000, true, 0, 0);
+  EXPECT_EQ(rep.records().size(), 4u);
+  EXPECT_EQ(rep.distinct_races(), 100u);
+}
+
+TEST(Reporter, ClearResets) {
+  detect::RaceReporter rep;
+  rep.report(1, true, 2, true, 0, 0);
+  rep.clear();
+  EXPECT_FALSE(rep.any());
+  EXPECT_TRUE(rep.records().empty());
+}
+
+TEST(Instrument, NoopWithoutDetector) {
+  // Outside any detector run, records must be harmless no-ops.
+  long x = 0;
+  record_write(&x, sizeof(x));
+  record_read(&x, sizeof(x));
+  SUCCEED();
+}
+
+TEST(Instrument, DmallocRoundTrip) {
+  void* p = dmalloc(100);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xAB, 100);
+  dfree(p);  // no detector active: frees immediately
+  dfree(nullptr);  // must be a no-op
+}
+
+TEST(PintInternals, QueueBackpressureWithTinyQueue) {
+  // A queue far smaller than the strand count forces the writer to reclaim
+  // continuously; everything must still complete and detect correctly.
+  pintd::PintDetector::Options o;
+  o.core_workers = 2;
+  o.queue_capacity = 16;
+  pintd::PintDetector d(o);
+  std::vector<long> x(512, 0);
+  d.run([&] {
+    struct Go {
+      static void rec(long* b, std::size_t n) {
+        if (n <= 8) {
+          record_write(b, n * sizeof(long));
+          return;
+        }
+        rt::SpawnScope sc;
+        const std::size_t h = n / 2;
+        sc.spawn([b, h] { rec(b, h); });
+        rec(b + h, n - h);
+        sc.sync();
+      }
+    };
+    Go::rec(x.data(), x.size());
+  });
+  EXPECT_FALSE(d.reporter().any());
+  EXPECT_GT(d.stats().strands.load(), 100u);
+}
+
+TEST(PintInternals, StatsAccounting) {
+  pintd::PintDetector::Options o;
+  o.core_workers = 1;
+  o.parallel_history = false;
+  pintd::PintDetector d(o);
+  std::vector<long> x(64, 0);
+  d.run([&] {
+    rt::SpawnScope sc;
+    sc.spawn([&] {
+      record_write(&x[0], 8);
+      record_write(&x[1], 8);  // adjacent: coalesces into one interval
+    });
+    record_read(&x[32], 8);
+    sc.sync();
+  });
+  const auto s = d.stats().snapshot();
+  EXPECT_EQ(s.raw_writes, 2u);
+  EXPECT_EQ(s.raw_reads, 1u);
+  EXPECT_EQ(s.write_intervals, 1u);  // coalesced
+  EXPECT_EQ(s.read_intervals, 1u);
+  EXPECT_GE(s.strands, 4u);  // root pieces + child + sync node
+  EXPECT_GE(s.traces, 1u);
+  EXPECT_GT(s.total_ns, 0u);
+}
+
+TEST(PintInternals, CoalescingOffTracksRawIntervals) {
+  pintd::PintDetector::Options o;
+  o.core_workers = 1;
+  o.parallel_history = false;
+  o.coalesce = false;
+  pintd::PintDetector d(o);
+  std::vector<long> x(64, 0);
+  d.run([&] {
+    for (int i = 0; i < 8; i += 2) {
+      record_write(&x[std::size_t(i * 4)], 8);  // far apart: 4 raw intervals
+    }
+  });
+  EXPECT_EQ(d.stats().snapshot().write_intervals, 4u);
+  EXPECT_FALSE(d.reporter().any());
+}
+
+TEST(PintInternals, ManyRunsRecycleStrands) {
+  // Strand churn well above the pool's initial size; the writer must keep
+  // recycling through the consumer counters without leaks or crashes.
+  pintd::PintDetector::Options o;
+  o.core_workers = 3;
+  o.queue_capacity = 64;
+  pintd::PintDetector d(o);
+  std::vector<long> x(4096, 0);
+  d.run([&] {
+    struct Go {
+      static void rec(long* b, std::size_t n) {
+        if (n <= 4) {
+          record_read(b, n * sizeof(long));
+          return;
+        }
+        rt::SpawnScope sc;
+        const std::size_t h = n / 2;
+        sc.spawn([b, h] { rec(b, h); });
+        rec(b + h, n - h);
+        sc.sync();
+        record_write(b, 8);
+      }
+    };
+    Go::rec(x.data(), x.size());
+  });
+  // Every write happens after the sync of its own subtree and the two
+  // subtree footprints are disjoint: race-free.
+  EXPECT_FALSE(d.reporter().any());
+  EXPECT_GT(d.stats().strands.load(), 1000u);
+}
+
+TEST(NamedSpawns, TagsAppearInRaceRecords) {
+  std::vector<long> x(8, 0);
+  pintd::PintDetector::Options o;
+  o.core_workers = 2;
+  pintd::PintDetector d(o);
+  d.run([&] {
+    rt::SpawnScope sc;
+    sc.spawn("producer", [&] { record_write(&x[0], 8); });
+    sc.spawn("consumer", [&] { record_read(&x[0], 8); });
+    sc.sync();
+  });
+  ASSERT_TRUE(d.reporter().any());
+  const auto recs = d.reporter().records();
+  ASSERT_FALSE(recs.empty());
+  bool saw_named_pair = false;
+  for (const auto& r : recs) {
+    if (r.prev_tag != nullptr && r.cur_tag != nullptr) {
+      const std::string a = r.prev_tag, b = r.cur_tag;
+      if ((a == "producer" && b == "consumer") ||
+          (a == "consumer" && b == "producer")) {
+        saw_named_pair = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_named_pair);
+}
+
+TEST(NamedSpawns, UnnamedSpawnsHaveNullTags) {
+  std::vector<long> x(8, 0);
+  stint::StintDetector d;
+  d.run([&] {
+    rt::SpawnScope sc;
+    sc.spawn([&] { record_write(&x[0], 8); });
+    record_write(&x[0], 8);
+    sc.sync();
+  });
+  ASSERT_TRUE(d.reporter().any());
+  for (const auto& r : d.reporter().records()) {
+    EXPECT_EQ(r.prev_tag, nullptr);
+    EXPECT_EQ(r.cur_tag, nullptr);
+  }
+}
+
+TEST(NamedSpawns, CracerCarriesTagsToo) {
+  std::vector<long> x(8, 0);
+  cracer::CracerDetector::Options o;
+  o.workers = 2;
+  cracer::CracerDetector d(o);
+  d.run([&] {
+    rt::SpawnScope sc;
+    sc.spawn("left", [&] { record_write(&x[0], 8); });
+    sc.spawn("right", [&] { record_write(&x[0], 8); });
+    sc.sync();
+  });
+  ASSERT_TRUE(d.reporter().any());
+  bool named = false;
+  for (const auto& r : d.reporter().records()) {
+    if (r.prev_tag && r.cur_tag) named = true;
+  }
+  EXPECT_TRUE(named);
+}

@@ -1,0 +1,140 @@
+// Unit tests for the per-granule hashmap access history (the ablation
+// backend), including equivalence with the interval treap at granule
+// resolution.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "detect/granule_map.hpp"
+#include "support/rng.hpp"
+
+using namespace pint;
+using detect::GranuleMap;
+using treap::Accessor;
+
+namespace {
+Accessor acc(std::uint64_t sid) { return {{}, sid}; }
+constexpr std::uint64_t G = GranuleMap::kGranuleBytes;
+}  // namespace
+
+TEST(GranuleMap, WriterInsertAndQuery) {
+  GranuleMap m;
+  m.insert_writer(0, 3 * G - 1, acc(1), [](auto, auto, const auto&) {});
+  int hits = 0;
+  m.query(0, 3 * G - 1, [&](std::uint64_t, std::uint64_t, const Accessor& a) {
+    EXPECT_EQ(a.sid, 1u);
+    ++hits;
+  });
+  EXPECT_EQ(hits, 3);
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(GranuleMap, WriterOverwriteReportsPrevious) {
+  GranuleMap m;
+  m.insert_writer(0, G - 1, acc(1), [](auto, auto, const auto&) {});
+  std::uint64_t prev = 0;
+  m.insert_writer(0, G - 1, acc(2),
+                  [&](std::uint64_t, std::uint64_t, const Accessor& a) {
+                    prev = a.sid;
+                  });
+  EXPECT_EQ(prev, 1u);
+  std::uint64_t now = 0;
+  m.query(0, G - 1,
+          [&](std::uint64_t, std::uint64_t, const Accessor& a) { now = a.sid; });
+  EXPECT_EQ(now, 2u);
+}
+
+TEST(GranuleMap, SubGranuleAccessesAlias) {
+  GranuleMap m;
+  m.insert_writer(0, 0, acc(1), [](auto, auto, const auto&) {});
+  bool overlap = false;
+  m.insert_writer(1, 1, acc(2),
+                  [&](std::uint64_t, std::uint64_t, const Accessor&) {
+                    overlap = true;  // same 8-byte granule
+                  });
+  EXPECT_TRUE(overlap);
+}
+
+TEST(GranuleMap, ReaderResolveControlsWinner) {
+  GranuleMap m;
+  m.insert_reader(0, G - 1, acc(1),
+                  [](const Accessor&, const Accessor&) { return true; });
+  m.insert_reader(0, G - 1, acc(2),
+                  [](const Accessor&, const Accessor&) { return false; });
+  std::uint64_t got = 0;
+  m.query(0, G - 1,
+          [&](std::uint64_t, std::uint64_t, const Accessor& a) { got = a.sid; });
+  EXPECT_EQ(got, 1u);
+  m.insert_reader(0, G - 1, acc(3),
+                  [](const Accessor&, const Accessor&) { return true; });
+  m.query(0, G - 1,
+          [&](std::uint64_t, std::uint64_t, const Accessor& a) { got = a.sid; });
+  EXPECT_EQ(got, 3u);
+}
+
+TEST(GranuleMap, EraseRangeRemovesCoverage) {
+  GranuleMap m;
+  m.insert_writer(0, 10 * G - 1, acc(1), [](auto, auto, const auto&) {});
+  m.erase_range(2 * G, 5 * G - 1);
+  int hits = 0;
+  m.query(0, 10 * G - 1, [&](auto, auto, const auto&) { ++hits; });
+  EXPECT_EQ(hits, 7);
+}
+
+TEST(GranuleMap, TombstoneSlotsAreReusable) {
+  GranuleMap m;
+  for (int round = 0; round < 50; ++round) {
+    m.insert_writer(0, 64 * G - 1, acc(std::uint64_t(round) + 1),
+                    [](auto, auto, const auto&) {});
+    m.erase_range(0, 64 * G - 1);
+  }
+  EXPECT_EQ(m.size(), 0u);
+  m.insert_writer(0, G - 1, acc(7), [](auto, auto, const auto&) {});
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(GranuleMap, GrowsPastInitialCapacity) {
+  GranuleMap m(16);
+  constexpr std::uint64_t kN = 4096;
+  m.insert_writer(0, kN * G - 1, acc(9), [](auto, auto, const auto&) {});
+  EXPECT_EQ(m.size(), kN);
+  EXPECT_GE(m.capacity(), kN);
+  std::uint64_t hits = 0;
+  m.query(0, kN * G - 1, [&](auto, auto, const Accessor& a) {
+    EXPECT_EQ(a.sid, 9u);
+    ++hits;
+  });
+  EXPECT_EQ(hits, kN);
+}
+
+TEST(GranuleMap, PropertyMatchesReferenceMap) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    pint::Xoshiro256 rng(seed);
+    GranuleMap m(64);
+    std::map<std::uint64_t, std::uint64_t> ref;  // granule -> sid
+    constexpr std::uint64_t kSpanGranules = 512;
+    for (int op = 0; op < 4000; ++op) {
+      const std::uint64_t glo = rng.next_below(kSpanGranules);
+      const std::uint64_t ghi = glo + rng.next_below(8);
+      const std::uint64_t lo = glo * G, hi = ghi * G + G - 1;
+      if (rng.next_below(5) == 0) {
+        m.erase_range(lo, hi);
+        ref.erase(ref.lower_bound(glo), ref.upper_bound(ghi));
+      } else {
+        const std::uint64_t sid = 1 + rng.next_below(100);
+        m.insert_writer(lo, hi, acc(sid), [](auto, auto, const auto&) {});
+        for (auto g = glo; g <= ghi; ++g) ref[g] = sid;
+      }
+    }
+    for (std::uint64_t g = 0; g < kSpanGranules + 8; ++g) {
+      std::uint64_t got = 0;
+      m.query(g * G, g * G + G - 1,
+              [&](auto, auto, const Accessor& a) { got = a.sid; });
+      const auto it = ref.find(g);
+      ASSERT_EQ(got, it == ref.end() ? 0 : it->second)
+          << "seed=" << seed << " granule=" << g;
+    }
+    ASSERT_EQ(m.size(), ref.size()) << "seed=" << seed;
+  }
+}

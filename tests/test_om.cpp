@@ -1,0 +1,154 @@
+// Unit + property tests for the concurrent order-maintenance list.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <list>
+#include <thread>
+#include <vector>
+
+#include "om/order_maintenance.hpp"
+#include "support/rng.hpp"
+
+using namespace pint;
+
+TEST(Om, BaseIsMinimum) {
+  om::List l;
+  auto* b = l.base();
+  auto* x = l.insert_after(b);
+  EXPECT_TRUE(l.precedes(b, x));
+  EXPECT_FALSE(l.precedes(x, b));
+  EXPECT_FALSE(l.precedes(x, x));
+}
+
+TEST(Om, InsertAfterOrdersBetween) {
+  om::List l;
+  auto* a = l.base();
+  auto* c = l.insert_after(a);
+  auto* b = l.insert_after(a);  // between a and c
+  EXPECT_TRUE(l.precedes(a, b));
+  EXPECT_TRUE(l.precedes(b, c));
+  EXPECT_TRUE(l.precedes(a, c));
+  EXPECT_TRUE(l.check_invariants());
+}
+
+TEST(Om, AppendChainStaysOrdered) {
+  om::List l;
+  std::vector<om::Item*> items{l.base()};
+  for (int i = 0; i < 1000; ++i) items.push_back(l.insert_after(items.back()));
+  for (std::size_t i = 0; i + 1 < items.size(); i += 37) {
+    EXPECT_TRUE(l.precedes(items[i], items[i + 1]));
+    EXPECT_FALSE(l.precedes(items[i + 1], items[i]));
+  }
+  EXPECT_TRUE(l.check_invariants());
+  EXPECT_EQ(l.size(), items.size());
+}
+
+TEST(Om, HotspotInsertionForcesRedistribution) {
+  // Repeated insert-after-the-same-item exhausts local subtag gaps and must
+  // trigger redistributions/splits while keeping the order correct.
+  om::List l;
+  auto* pivot = l.insert_after(l.base());
+  auto* end = l.insert_after(pivot);
+  om::Item* prev = nullptr;
+  for (int i = 0; i < 5000; ++i) {
+    om::Item* x = l.insert_after(pivot);
+    EXPECT_TRUE(l.precedes(pivot, x));
+    EXPECT_TRUE(l.precedes(x, end));
+    if (prev) {
+      EXPECT_TRUE(l.precedes(x, prev));  // each lands right after pivot
+    }
+    prev = x;
+  }
+  EXPECT_GT(l.structural_mutations(), 0u);
+  EXPECT_TRUE(l.check_invariants());
+}
+
+TEST(Om, PropertyMatchesListReference) {
+  // Random insert-afters mirrored into a std::list; verify precedes()
+  // matches the reference order on random pairs.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Xoshiro256 rng(seed);
+    om::List l;
+    std::list<om::Item*> ref{l.base()};
+    std::vector<std::list<om::Item*>::iterator> iters;
+    iters.push_back(ref.begin());
+    for (int i = 0; i < 2000; ++i) {
+      const auto pos = rng.next_below(iters.size());
+      auto it = iters[pos];
+      om::Item* x = l.insert_after(*it);
+      auto nit = ref.insert(std::next(it), x);
+      iters.push_back(nit);
+    }
+    ASSERT_TRUE(l.check_invariants());
+    // Build rank map from the reference.
+    std::vector<const om::Item*> order(ref.begin(), ref.end());
+    for (int q = 0; q < 4000; ++q) {
+      const auto i = rng.next_below(order.size());
+      const auto j = rng.next_below(order.size());
+      EXPECT_EQ(l.precedes(order[i], order[j]), i < j)
+          << "seed=" << seed << " i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(Om, ConcurrentInsertAndQueryStress) {
+  om::List l;
+  // A shared ordered backbone.
+  std::vector<om::Item*> backbone{l.base()};
+  for (int i = 0; i < 512; ++i) backbone.push_back(l.insert_after(backbone.back()));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> bad{0};
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&, t] {
+      Xoshiro256 rng(100 + std::uint64_t(t));
+      // Each writer grows private chains hanging off backbone items and
+      // checks its own chain ordering (single-writer-per-chain).
+      for (int rounds = 0; rounds < 200; ++rounds) {
+        om::Item* anchor = backbone[rng.next_below(backbone.size())];
+        om::Item* prev = anchor;
+        std::vector<om::Item*> chain;
+        for (int i = 0; i < 20; ++i) {
+          prev = l.insert_after(prev);
+          chain.push_back(prev);
+        }
+        for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+          if (!l.precedes(chain[i], chain[i + 1])) bad.fetch_add(1);
+        }
+        if (!l.precedes(anchor, chain.front())) bad.fetch_add(1);
+      }
+    });
+  }
+  std::thread reader([&] {
+    Xoshiro256 rng(999);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto i = rng.next_below(backbone.size());
+      const auto j = rng.next_below(backbone.size());
+      const bool p = l.precedes(backbone[i], backbone[j]);
+      if (p != (i < j)) bad.fetch_add(1);
+    }
+  });
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_TRUE(l.check_invariants());
+}
+
+TEST(Om, ManyGroupsSplitKeepsGlobalOrder) {
+  om::List l;
+  std::vector<om::Item*> items{l.base()};
+  // Force many group splits by bulk appending.
+  for (int i = 0; i < 20000; ++i) items.push_back(l.insert_after(items.back()));
+  EXPECT_TRUE(l.check_invariants());
+  Xoshiro256 rng(5);
+  for (int q = 0; q < 2000; ++q) {
+    const auto i = rng.next_below(items.size());
+    const auto j = rng.next_below(items.size());
+    if (i == j) continue;
+    EXPECT_EQ(l.precedes(items[i], items[j]), i < j);
+  }
+}

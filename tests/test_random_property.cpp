@@ -1,0 +1,110 @@
+// Property tests: random series-parallel programs executed under every real
+// detector must agree with the exact oracle on "does a race exist" -
+// Theorem 5's guarantee. Race-free-by-construction programs must never
+// trigger a report from any detector.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common.hpp"
+
+using namespace pint;
+using test::Det;
+using test::ProgramConfig;
+using test::ProgramGen;
+
+namespace {
+
+struct Case {
+  std::uint64_t seed;
+  bool race_free;
+};
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  for (std::uint64_t s = 1; s <= 12; ++s) cases.push_back({s, false});
+  for (std::uint64_t s = 101; s <= 108; ++s) cases.push_back({s, true});
+  return cases;
+}
+
+}  // namespace
+
+class RandomProgram : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RandomProgram, AllDetectorsMatchOracle) {
+  const Case c = GetParam();
+  ProgramConfig cfg;
+  cfg.race_free = c.race_free;
+  ProgramGen gen(c.seed, cfg);
+  auto prog = gen.generate();
+  const std::size_t pool = test::program_pool_bytes(cfg);
+
+  const bool truth = test::oracle_any_race(*prog, pool);
+  if (c.race_free) {
+    ASSERT_FALSE(truth) << "race-free generator produced a racy program";
+  }
+
+  for (Det d : test::all_detectors()) {
+    std::vector<unsigned char> mem(pool, 0);
+    unsigned char* base = mem.data();
+    const test::PNode* p = prog.get();
+    auto r = test::run_under(d, [p, base] { test::exec_node(*p, base); });
+    EXPECT_EQ(r.any_race, truth)
+        << "detector=" << test::det_name(d) << " seed=" << c.seed
+        << " race_free=" << c.race_free;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgram,
+                         ::testing::ValuesIn(make_cases()),
+                         [](const auto& info) {
+                           return std::string(info.param.race_free ? "clean"
+                                                                   : "rand") +
+                                  std::to_string(info.param.seed);
+                         });
+
+// Repeated runs of the same racy program under the parallel detectors:
+// schedule nondeterminism must never flip the any-race verdict.
+TEST(RandomProgramStability, ParallelSchedulesAgree) {
+  ProgramConfig cfg;
+  ProgramGen gen(42, cfg);
+  auto prog = gen.generate();
+  const std::size_t pool = test::program_pool_bytes(cfg);
+  const bool truth = test::oracle_any_race(*prog, pool);
+
+  for (int rep = 0; rep < 5; ++rep) {
+    for (Det d : {Det::kPint2, Det::kPint4, Det::kCracer4}) {
+      std::vector<unsigned char> mem(pool, 0);
+      unsigned char* base = mem.data();
+      const test::PNode* p = prog.get();
+      auto r = test::run_under(d, [p, base] { test::exec_node(*p, base); },
+                               std::uint64_t(rep) * 17 + 3);
+      EXPECT_EQ(r.any_race, truth)
+          << "detector=" << test::det_name(d) << " rep=" << rep;
+    }
+  }
+}
+
+// Deeper/wider programs for the interval machinery: longer actions, more
+// nodes - race-free construction, so any report is a false positive.
+TEST(RandomProgramStability, LargeRaceFreeProgramsStayClean) {
+  for (std::uint64_t seed : {7u, 8u, 9u}) {
+    ProgramConfig cfg;
+    cfg.race_free = true;
+    cfg.max_depth = 6;
+    cfg.max_children = 4;
+    cfg.max_actions = 6;
+    ProgramGen gen(seed, cfg);
+    auto prog = gen.generate();
+    const std::size_t pool = test::program_pool_bytes(cfg);
+    for (Det d : {Det::kStint, Det::kPint4, Det::kCracer4}) {
+      std::vector<unsigned char> mem(pool, 0);
+      unsigned char* base = mem.data();
+      const test::PNode* p = prog.get();
+      auto r = test::run_under(d, [p, base] { test::exec_node(*p, base); });
+      EXPECT_FALSE(r.any_race)
+          << "detector=" << test::det_name(d) << " seed=" << seed;
+    }
+  }
+}

@@ -1,0 +1,158 @@
+// Tests for SP-order reachability: hand-built scenarios plus a property
+// test against a transitive-closure oracle on random series-parallel DAGs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "reach/sp_order.hpp"
+#include "support/rng.hpp"
+
+using namespace pint;
+using reach::Engine;
+using reach::Label;
+
+TEST(Reach, SpawnMakesChildAndContinuationParallel) {
+  Engine e;
+  Label u = e.root_label();
+  Label sync;
+  auto s = e.on_spawn(u, &sync);
+  EXPECT_TRUE(e.precedes(u, s.child));
+  EXPECT_TRUE(e.precedes(u, s.cont));
+  EXPECT_TRUE(e.parallel(s.child, s.cont));
+  EXPECT_FALSE(e.precedes(s.child, s.cont));
+  EXPECT_FALSE(e.precedes(s.cont, s.child));
+}
+
+TEST(Reach, SyncNodeInSeriesWithWholeBlock) {
+  Engine e;
+  Label u = e.root_label();
+  Label sync;
+  auto s1 = e.on_spawn(u, &sync);
+  auto s2 = e.on_spawn(s1.cont, &sync);  // second spawn, same block
+  // Both children and both continuations precede the sync node.
+  EXPECT_TRUE(e.precedes(s1.child, sync));
+  EXPECT_TRUE(e.precedes(s2.child, sync));
+  EXPECT_TRUE(e.precedes(s1.cont, sync));
+  EXPECT_TRUE(e.precedes(s2.cont, sync));
+  // The two children are parallel siblings.
+  EXPECT_TRUE(e.parallel(s1.child, s2.child));
+  // First child is left of second child.
+  EXPECT_TRUE(e.left_of(s1.child, s2.child));
+  EXPECT_FALSE(e.left_of(s2.child, s1.child));
+  // Continuation 1 precedes child 2 (spawned later in program order).
+  EXPECT_TRUE(e.precedes(s1.cont, s2.child));
+}
+
+TEST(Reach, NestedSpawnRegionsAreParallel) {
+  Engine e;
+  Label u = e.root_label();
+  Label outer_sync;
+  auto s1 = e.on_spawn(u, &outer_sync);
+  // The child spawns its own subtree.
+  Label inner_sync;
+  auto c1 = e.on_spawn(s1.child, &inner_sync);
+  // Everything in the child's subtree is parallel to the continuation.
+  EXPECT_TRUE(e.parallel(c1.child, s1.cont));
+  EXPECT_TRUE(e.parallel(c1.cont, s1.cont));
+  EXPECT_TRUE(e.parallel(inner_sync, s1.cont));
+  // ...but in series with the outer sync.
+  EXPECT_TRUE(e.precedes(c1.child, outer_sync));
+  EXPECT_TRUE(e.precedes(inner_sync, outer_sync));
+}
+
+TEST(Reach, SequentialBlocksAreInSeries) {
+  Engine e;
+  Label u = e.root_label();
+  Label sync1;
+  auto s1 = e.on_spawn(u, &sync1);
+  // After the first block's sync, a second block begins at sync1.
+  Label sync2;
+  auto s2 = e.on_spawn(sync1, &sync2);
+  EXPECT_TRUE(e.precedes(s1.child, s2.child));
+  EXPECT_TRUE(e.precedes(s1.cont, s2.cont));
+  EXPECT_TRUE(e.precedes(sync1, sync2));
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random SP tree vs transitive-closure oracle.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Builds a random fork-join computation using the engine while recording
+/// every strand and the ground-truth precedence edges; the oracle relation
+/// is the transitive closure over those edges.
+struct SpBuilder {
+  Engine e;
+  std::vector<Label> strands;
+  std::vector<std::pair<int, int>> edges;
+  Xoshiro256 rng;
+
+  explicit SpBuilder(std::uint64_t seed) : rng(seed) {}
+
+  int add(const Label& l) {
+    strands.push_back(l);
+    return int(strands.size()) - 1;
+  }
+
+  /// Simulates executing a function whose current strand is `cur` (index).
+  /// Returns the index of its final strand.
+  int run_function(int cur, int depth) {
+    const int blocks = 1 + int(rng.next_below(2));
+    for (int b = 0; b < blocks; ++b) {
+      const bool force = depth == 0 && b == 0;  // at least one spawn overall
+      if (!force && (depth >= 4 || rng.next_below(100) < 30)) continue;
+      const int nspawn = 1 + int(rng.next_below(3));
+      Label sync;
+      std::vector<int> block_tails;
+      for (int s = 0; s < nspawn; ++s) {
+        auto labels = e.on_spawn(strands[std::size_t(cur)], &sync);
+        const int child = add(labels.child);
+        const int cont = add(labels.cont);
+        edges.push_back({cur, child});
+        edges.push_back({cur, cont});
+        const int child_tail = run_function(child, depth + 1);
+        block_tails.push_back(child_tail);
+        cur = cont;
+      }
+      const int j = add(sync);
+      edges.push_back({cur, j});
+      for (int t : block_tails) edges.push_back({t, j});
+      cur = j;
+    }
+    return cur;
+  }
+};
+
+}  // namespace
+
+TEST(Reach, PropertyMatchesTransitiveClosure) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SpBuilder b(seed);
+    const int root = b.add(b.e.root_label());
+    b.run_function(root, 0);
+
+    const std::size_t n = b.strands.size();
+    ASSERT_GE(n, 2u);
+    // Floyd-Warshall-style closure on a bit matrix.
+    std::vector<std::vector<char>> reach(n, std::vector<char>(n, 0));
+    for (auto [u, v] : b.edges) reach[std::size_t(u)][std::size_t(v)] = 1;
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!reach[i][k]) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (reach[k][j]) reach[i][j] = 1;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        EXPECT_EQ(b.e.precedes(b.strands[i], b.strands[j]), bool(reach[i][j]))
+            << "seed=" << seed << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}

@@ -1,0 +1,125 @@
+// Unit tests for C-RACER's shadow memory (two-level page table of cells).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "cracer/shadow.hpp"
+
+using namespace pint;
+using cracer::ShadowCell;
+using cracer::ShadowMemory;
+
+namespace {
+constexpr std::uint64_t G = ShadowMemory::kGranuleBytes;
+}
+
+TEST(Shadow, ForCellsCoversRangeExactly) {
+  ShadowMemory sm;
+  int cells = 0;
+  sm.for_cells(0, 10 * G - 1, [&](ShadowCell&) { ++cells; });
+  EXPECT_EQ(cells, 10);
+}
+
+TEST(Shadow, SubGranuleRangeTouchesOneCell) {
+  ShadowMemory sm;
+  int cells = 0;
+  sm.for_cells(3, 5, [&](ShadowCell&) { ++cells; });
+  EXPECT_EQ(cells, 1);
+}
+
+TEST(Shadow, StraddlingRangeTouchesBothCells) {
+  ShadowMemory sm;
+  int cells = 0;
+  sm.for_cells(G - 1, G, [&](ShadowCell&) { ++cells; });
+  EXPECT_EQ(cells, 2);
+}
+
+TEST(Shadow, SameAddressSameCell) {
+  ShadowMemory sm;
+  ShadowCell* first = nullptr;
+  sm.for_cells(100, 100, [&](ShadowCell& c) { first = &c; });
+  ShadowCell* second = nullptr;
+  sm.for_cells(100, 100, [&](ShadowCell& c) { second = &c; });
+  EXPECT_EQ(first, second);
+}
+
+TEST(Shadow, DistantAddressesDistinctCells) {
+  ShadowMemory sm;
+  std::set<ShadowCell*> cells;
+  for (std::uint64_t a = 0; a < 64; ++a) {
+    sm.for_cells(a * (1 << 20), a * (1 << 20), [&](ShadowCell& c) {
+      cells.insert(&c);
+    });
+  }
+  EXPECT_EQ(cells.size(), 64u);
+  EXPECT_GE(sm.pages_allocated(), 64u);
+}
+
+TEST(Shadow, CellStatePersists) {
+  ShadowMemory sm;
+  sm.for_cells(500, 500, [&](ShadowCell& c) { c.writer.sid = 42; });
+  std::uint64_t got = 0;
+  sm.for_cells(500, 500, [&](ShadowCell& c) { got = c.writer.sid; });
+  EXPECT_EQ(got, 42u);
+}
+
+TEST(Shadow, ClearRangeZeroesCells) {
+  ShadowMemory sm;
+  sm.for_cells(0, 32 * G - 1, [&](ShadowCell& c) {
+    c.writer.sid = 1;
+    c.lreader.sid = 2;
+    c.rreader.sid = 3;
+  });
+  sm.clear_range(8 * G, 16 * G - 1);
+  int live = 0, dead = 0;
+  std::uint64_t i = 0;
+  sm.for_cells(0, 32 * G - 1, [&](ShadowCell& c) {
+    const bool in_cleared = i >= 8 && i < 16;
+    if (c.writer.sid == 0 && c.lreader.sid == 0 && c.rreader.sid == 0) {
+      ++dead;
+      EXPECT_TRUE(in_cleared) << "cell " << i;
+    } else {
+      ++live;
+      EXPECT_FALSE(in_cleared) << "cell " << i;
+    }
+    ++i;
+  });
+  EXPECT_EQ(dead, 8);
+  EXPECT_EQ(live, 24);
+}
+
+TEST(Shadow, ClearRangeOnUnmappedPagesIsCheapNoop) {
+  ShadowMemory sm;
+  // Gigabytes of never-touched address space: must not allocate pages.
+  sm.clear_range(std::uint64_t(1) << 40, (std::uint64_t(1) << 40) + (1 << 30));
+  EXPECT_EQ(sm.pages_allocated(), 0u);
+}
+
+TEST(Shadow, ConcurrentPageCreationStress) {
+  ShadowMemory sm(1 << 10);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPages = 128;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> ts;
+  std::vector<std::vector<ShadowCell*>> seen(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (std::uint64_t p = 0; p < kPages; ++p) {
+        sm.for_cells(p * 4096 + 8, p * 4096 + 8, [&](ShadowCell& c) {
+          seen[std::size_t(t)].push_back(&c);
+        });
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  // Every thread must have resolved each page to the same cell object.
+  for (int t = 1; t < kThreads; ++t) {
+    if (seen[std::size_t(t)] != seen[0]) bad.fetch_add(1);
+  }
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(sm.pages_allocated(), kPages);
+}

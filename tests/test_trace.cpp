@@ -1,0 +1,238 @@
+// Tests for PINT's trace FIFO and access-history queue.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "detect/strand.hpp"
+#include "pint/ah_queue.hpp"
+#include "pint/trace.hpp"
+
+using namespace pint;
+using detect::Strand;
+using pintd::AhQueue;
+using pintd::Trace;
+using pintd::TraceChunk;
+
+namespace {
+
+struct TraceFixture {
+  std::vector<std::unique_ptr<TraceChunk>> chunks;
+  TraceChunk* chunk() {
+    chunks.push_back(std::make_unique<TraceChunk>());
+    return chunks.back().get();
+  }
+};
+
+}  // namespace
+
+TEST(Trace, FifoOrderWithinChunk) {
+  TraceFixture fx;
+  Trace t;
+  t.init(fx.chunk());
+  Strand a, b, c;
+  t.push(&a);
+  t.push(&b);
+  t.push(&c);
+  EXPECT_EQ(t.peek(), &a);
+  t.pop();
+  EXPECT_EQ(t.peek(), &b);
+  t.pop();
+  EXPECT_EQ(t.peek(), &c);
+  t.pop();
+  EXPECT_EQ(t.peek(), nullptr);
+  EXPECT_FALSE(t.drained());  // not finished yet
+  t.mark_finished();
+  EXPECT_TRUE(t.drained());
+}
+
+TEST(Trace, CrossesChunkBoundaries) {
+  TraceFixture fx;
+  Trace t;
+  t.init(fx.chunk());
+  std::vector<Strand> strands(TraceChunk::kSlots * 3 + 5);
+  for (auto& s : strands) {
+    if (t.push_needs_chunk()) t.supply_chunk(fx.chunk());
+    t.push(&s);
+  }
+  t.mark_finished();
+  std::size_t drained_chunks = 0;
+  for (auto& s : strands) {
+    ASSERT_EQ(t.peek(), &s);
+    if (t.take_drained_chunk()) ++drained_chunks;
+    t.pop();
+  }
+  EXPECT_EQ(t.peek(), nullptr);
+  EXPECT_TRUE(t.drained());
+  EXPECT_EQ(drained_chunks, 3u);
+}
+
+TEST(Trace, FinishedRecheckCatchesLatePush) {
+  TraceFixture fx;
+  Trace t;
+  t.init(fx.chunk());
+  Strand a;
+  // drained() must re-probe after seeing finished (push then finish order).
+  t.push(&a);
+  t.mark_finished();
+  EXPECT_FALSE(t.drained());
+  EXPECT_EQ(t.peek(), &a);
+  t.pop();
+  EXPECT_TRUE(t.drained());
+}
+
+TEST(Trace, SpscStress) {
+  TraceFixture fx;
+  Trace t;
+  t.init(fx.chunk());
+  constexpr int kN = 100000;
+  std::vector<Strand> strands(kN);
+  Spinlock chunk_mu;
+
+  std::thread producer([&] {
+    for (int i = 0; i < kN; ++i) {
+      if (t.push_needs_chunk()) {
+        LockGuard<Spinlock> g(chunk_mu);
+        t.supply_chunk(fx.chunk());
+      }
+      strands[std::size_t(i)].sid = std::uint64_t(i) + 1;
+      t.push(&strands[std::size_t(i)]);
+    }
+    t.mark_finished();
+  });
+
+  std::uint64_t expected = 1;
+  for (;;) {
+    Strand* s = t.peek();
+    t.take_drained_chunk();
+    if (s == nullptr) {
+      if (t.drained()) break;
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(s->sid, expected);
+    ++expected;
+    t.pop();
+  }
+  producer.join();
+  EXPECT_EQ(expected, std::uint64_t(kN) + 1);
+}
+
+TEST(Trace, NextTraceLinking) {
+  TraceFixture fx;
+  Trace t1, t2;
+  t1.init(fx.chunk());
+  t2.init(fx.chunk());
+  EXPECT_EQ(t1.next_trace(), nullptr);
+  t1.mark_finished();
+  t1.set_next_trace(&t2);
+  EXPECT_EQ(t1.next_trace(), &t2);
+  EXPECT_TRUE(t1.drained());
+}
+
+// ---------------------------------------------------------------------------
+// Access-history queue
+// ---------------------------------------------------------------------------
+
+TEST(AhQueue, PushAndReadBack) {
+  AhQueue q(8);
+  std::vector<Strand> strands(5);
+  for (auto& s : strands) {
+    s.consumers.store(1);
+    ASSERT_TRUE(q.try_push(&s));
+  }
+  EXPECT_EQ(q.head(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(q.at(i), &strands[i]);
+}
+
+TEST(AhQueue, FullRejectsUntilReclaim) {
+  AhQueue q(4);
+  std::vector<Strand> strands(6);
+  for (int i = 0; i < 4; ++i) {
+    strands[std::size_t(i)].consumers.store(0);  // immediately reclaimable
+    ASSERT_TRUE(q.try_push(&strands[std::size_t(i)]));
+  }
+  EXPECT_FALSE(q.try_push(&strands[4]));
+  int recycled = 0;
+  q.reclaim([&](Strand*) { ++recycled; });
+  EXPECT_EQ(recycled, 4);
+  EXPECT_TRUE(q.try_push(&strands[4]));
+}
+
+TEST(AhQueue, ReclaimStopsAtBusyStrand) {
+  AhQueue q(8);
+  Strand a, b, c;
+  a.consumers.store(0);
+  b.consumers.store(2);  // still being processed
+  c.consumers.store(0);
+  ASSERT_TRUE(q.try_push(&a));
+  ASSERT_TRUE(q.try_push(&b));
+  ASSERT_TRUE(q.try_push(&c));
+  std::vector<Strand*> recycled;
+  q.reclaim([&](Strand* s) { recycled.push_back(s); });
+  EXPECT_EQ(recycled, (std::vector<Strand*>{&a}));
+  b.consumers.store(0);
+  q.reclaim([&](Strand* s) { recycled.push_back(s); });
+  EXPECT_EQ(recycled, (std::vector<Strand*>{&a, &b, &c}));
+}
+
+TEST(AhQueue, GrowPreservesContents) {
+  AhQueue q(4);
+  std::vector<Strand> strands(64);
+  std::uint64_t pushed = 0;
+  for (auto& s : strands) {
+    s.consumers.store(3);
+    while (!q.try_push(&s)) q.grow_unsynchronized();
+    ++pushed;
+  }
+  EXPECT_EQ(q.head(), pushed);
+  for (std::uint64_t i = 0; i < pushed; ++i) {
+    EXPECT_EQ(q.at(i), &strands[i]) << i;
+  }
+}
+
+TEST(AhQueue, SingleProducerMultiConsumerStress) {
+  AhQueue q(1 << 8);
+  constexpr int kN = 50000;
+  std::vector<Strand> strands(kN);
+  std::atomic<std::uint64_t> sum_a{0}, sum_b{0};
+  std::atomic<bool> done{false};
+
+  auto consumer = [&](std::atomic<std::uint64_t>& sum) {
+    std::uint64_t cursor = 0;
+    for (;;) {
+      const std::uint64_t h = q.head();
+      if (cursor == h) {
+        if (done.load(std::memory_order_acquire) && cursor == q.head()) break;
+        std::this_thread::yield();
+        continue;
+      }
+      while (cursor < h) {
+        Strand* s = q.at(cursor);
+        sum.fetch_add(s->sid, std::memory_order_relaxed);
+        s->consumers.fetch_sub(1, std::memory_order_acq_rel);
+        ++cursor;
+      }
+    }
+  };
+  std::thread ca([&] { consumer(sum_a); });
+  std::thread cb([&] { consumer(sum_b); });
+
+  std::uint64_t expect = 0;
+  for (int i = 0; i < kN; ++i) {
+    Strand* s = &strands[std::size_t(i)];
+    s->sid = std::uint64_t(i) + 1;
+    expect += s->sid;
+    s->consumers.store(2, std::memory_order_release);
+    while (!q.try_push(s)) {
+      q.reclaim([](Strand*) {});
+      std::this_thread::yield();
+    }
+  }
+  done.store(true, std::memory_order_release);
+  ca.join();
+  cb.join();
+  EXPECT_EQ(sum_a.load(), expect);
+  EXPECT_EQ(sum_b.load(), expect);
+}

@@ -1,0 +1,254 @@
+// Unit + property tests for the non-overlapping interval treap.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "treap/interval_treap.hpp"
+
+using namespace pint;
+using treap::Accessor;
+using treap::IntervalTreap;
+
+namespace {
+
+Accessor acc(std::uint64_t sid) { return {{}, sid}; }
+
+struct Seg {
+  std::uint64_t lo, hi, sid;
+  bool operator==(const Seg&) const = default;
+};
+
+std::vector<Seg> contents(const IntervalTreap& t) {
+  std::vector<Seg> out;
+  t.for_each([&](std::uint64_t lo, std::uint64_t hi, const Accessor& a) {
+    out.push_back({lo, hi, a.sid});
+  });
+  return out;
+}
+
+/// Reference model: one owner per byte.
+class ByteModel {
+ public:
+  void write(std::uint64_t lo, std::uint64_t hi, std::uint64_t sid) {
+    for (auto b = lo; b <= hi; ++b) owner_[b] = sid;
+  }
+  void erase(std::uint64_t lo, std::uint64_t hi) {
+    owner_.erase(owner_.lower_bound(lo), owner_.upper_bound(hi));
+  }
+  /// Segments as (byte -> sid) coalesced like the treap would store them...
+  /// only per-byte equality is checked, which is representation-independent.
+  std::uint64_t at(std::uint64_t b) const {
+    auto it = owner_.find(b);
+    return it == owner_.end() ? 0 : it->second;
+  }
+  const std::map<std::uint64_t, std::uint64_t>& map() const { return owner_; }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> owner_;
+};
+
+std::uint64_t treap_at(const IntervalTreap& t, std::uint64_t b) {
+  std::uint64_t sid = 0;
+  t.query(b, b, [&](std::uint64_t, std::uint64_t, const Accessor& a) {
+    sid = a.sid;
+  });
+  return sid;
+}
+
+}  // namespace
+
+TEST(Treap, PaperExampleSplitsCorrectly) {
+  // Paper §III-A: {[1,4]:u, [6,10]:v} + write [3,7]:w
+  //            => {[1,2]:u, [3,7]:w, [8,10]:v}
+  IntervalTreap t;
+  t.insert_writer(1, 4, acc(1), [](auto, auto, const auto&) {});
+  t.insert_writer(6, 10, acc(2), [](auto, auto, const auto&) {});
+  std::vector<Seg> reported;
+  t.insert_writer(3, 7, acc(3), [&](std::uint64_t lo, std::uint64_t hi,
+                                    const Accessor& a) {
+    reported.push_back({lo, hi, a.sid});
+  });
+  EXPECT_EQ(contents(t), (std::vector<Seg>{{1, 2, 1}, {3, 7, 3}, {8, 10, 2}}));
+  // Overlapped segments reported in address order with previous owners.
+  EXPECT_EQ(reported, (std::vector<Seg>{{3, 4, 1}, {6, 7, 2}}));
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(Treap, ExactCoverInsert) {
+  IntervalTreap t;
+  t.insert_writer(10, 20, acc(1), [](auto, auto, const auto&) {});
+  std::vector<Seg> rep;
+  t.insert_writer(10, 20, acc(2), [&](std::uint64_t lo, std::uint64_t hi,
+                                      const Accessor& a) {
+    rep.push_back({lo, hi, a.sid});
+  });
+  EXPECT_EQ(rep, (std::vector<Seg>{{10, 20, 1}}));
+  EXPECT_EQ(contents(t), (std::vector<Seg>{{10, 20, 2}}));
+}
+
+TEST(Treap, InsertInsideSplitsBothSides) {
+  IntervalTreap t;
+  t.insert_writer(0, 100, acc(1), [](auto, auto, const auto&) {});
+  t.insert_writer(40, 60, acc(2), [](auto, auto, const auto&) {});
+  EXPECT_EQ(contents(t),
+            (std::vector<Seg>{{0, 39, 1}, {40, 60, 2}, {61, 100, 1}}));
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(Treap, QueryDoesNotMutate) {
+  IntervalTreap t;
+  t.insert_writer(5, 9, acc(1), [](auto, auto, const auto&) {});
+  int hits = 0;
+  t.query(0, 100, [&](std::uint64_t lo, std::uint64_t hi, const Accessor& a) {
+    EXPECT_EQ(lo, 5u);
+    EXPECT_EQ(hi, 9u);
+    EXPECT_EQ(a.sid, 1u);
+    ++hits;
+  });
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(contents(t).size(), 1u);
+}
+
+TEST(Treap, QueryTrimsToRange) {
+  IntervalTreap t;
+  t.insert_writer(10, 30, acc(1), [](auto, auto, const auto&) {});
+  t.query(20, 25, [&](std::uint64_t lo, std::uint64_t hi, const Accessor&) {
+    EXPECT_EQ(lo, 20u);
+    EXPECT_EQ(hi, 25u);
+  });
+}
+
+TEST(Treap, EraseRangeTruncatesBoundaries) {
+  IntervalTreap t;
+  t.insert_writer(0, 9, acc(1), [](auto, auto, const auto&) {});
+  t.insert_writer(10, 19, acc(2), [](auto, auto, const auto&) {});
+  t.insert_writer(20, 29, acc(3), [](auto, auto, const auto&) {});
+  t.erase_range(5, 24);
+  EXPECT_EQ(contents(t), (std::vector<Seg>{{0, 4, 1}, {25, 29, 3}}));
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(Treap, EraseAllLeavesEmpty) {
+  IntervalTreap t;
+  for (int i = 0; i < 64; ++i) {
+    t.insert_writer(std::uint64_t(i) * 10, std::uint64_t(i) * 10 + 5, acc(1),
+                    [](auto, auto, const auto&) {});
+  }
+  t.erase_range(0, 10000);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Treap, ReaderInsertSeriesReplaces) {
+  IntervalTreap t;
+  t.insert_reader(0, 50, acc(1), [](const Accessor&, const Accessor&) {
+    return true;  // unconditionally take new (no prior anyway)
+  });
+  // New reader wins every overlap (simulates prev ~> cur).
+  t.insert_reader(10, 20, acc(2),
+                  [](const Accessor&, const Accessor&) { return true; });
+  EXPECT_EQ(contents(t),
+            (std::vector<Seg>{{0, 9, 1}, {10, 20, 2}, {21, 50, 1}}));
+}
+
+TEST(Treap, ReaderInsertKeepLosesGaps) {
+  IntervalTreap t;
+  t.insert_reader(10, 20, acc(1),
+                  [](const Accessor&, const Accessor&) { return true; });
+  // Old reader kept on overlap; the new one still fills uncovered gaps.
+  t.insert_reader(0, 30, acc(2),
+                  [](const Accessor&, const Accessor&) { return false; });
+  EXPECT_EQ(contents(t),
+            (std::vector<Seg>{{0, 9, 2}, {10, 20, 1}, {21, 30, 2}}));
+}
+
+TEST(Treap, ReaderInsertCoalescesSameWinner) {
+  IntervalTreap t;
+  t.insert_reader(10, 14, acc(1),
+                  [](const Accessor&, const Accessor&) { return true; });
+  t.insert_reader(15, 19, acc(1),
+                  [](const Accessor&, const Accessor&) { return true; });
+  // Covering insert where the NEW accessor always wins merges to one node.
+  t.insert_reader(5, 25, acc(1),
+                  [](const Accessor&, const Accessor&) { return true; });
+  EXPECT_EQ(contents(t), (std::vector<Seg>{{5, 25, 1}}));
+}
+
+TEST(Treap, AdjacentIntervalsDoNotMergeAcrossOwners) {
+  IntervalTreap t;
+  t.insert_writer(0, 9, acc(1), [](auto, auto, const auto&) {});
+  t.insert_writer(10, 19, acc(2), [](auto, auto, const auto&) {});
+  EXPECT_EQ(contents(t).size(), 2u);
+}
+
+TEST(Treap, SingleByteIntervals) {
+  IntervalTreap t;
+  for (std::uint64_t b = 0; b < 100; b += 2) {
+    t.insert_writer(b, b, acc(b + 1), [](auto, auto, const auto&) {});
+  }
+  EXPECT_EQ(t.size(), 50u);
+  t.insert_writer(0, 99, acc(777), [](auto, auto, const auto&) {});
+  EXPECT_EQ(contents(t), (std::vector<Seg>{{0, 99, 777}}));
+}
+
+TEST(Treap, PropertyWriterMatchesByteModel) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Xoshiro256 rng(seed);
+    IntervalTreap t(seed);
+    ByteModel m;
+    constexpr std::uint64_t kSpan = 2000;
+    for (int op = 0; op < 3000; ++op) {
+      const std::uint64_t lo = rng.next_below(kSpan);
+      const std::uint64_t hi = lo + rng.next_below(64);
+      const auto kind = rng.next_below(10);
+      if (kind < 7) {
+        const std::uint64_t sid = 1 + rng.next_below(1000);
+        t.insert_writer(lo, hi, acc(sid), [](auto, auto, const auto&) {});
+        m.write(lo, hi, sid);
+      } else if (kind < 9) {
+        // query must report exactly the model's owned bytes
+        std::map<std::uint64_t, std::uint64_t> got;
+        t.query(lo, hi,
+                [&](std::uint64_t a, std::uint64_t b, const Accessor& who) {
+                  for (auto x = a; x <= b; ++x) got[x] = who.sid;
+                });
+        for (auto x = lo; x <= hi; ++x) {
+          const auto it = got.find(x);
+          EXPECT_EQ(it == got.end() ? 0 : it->second, m.at(x));
+        }
+      } else {
+        t.erase_range(lo, hi);
+        m.erase(lo, hi);
+      }
+    }
+    ASSERT_TRUE(t.check_invariants()) << "seed=" << seed;
+    for (std::uint64_t b = 0; b < kSpan + 64; b += 7) {
+      ASSERT_EQ(treap_at(t, b), m.at(b)) << "seed=" << seed << " byte=" << b;
+    }
+  }
+}
+
+TEST(Treap, PropertyNoOverlapInvariantUnderChurn) {
+  Xoshiro256 rng(99);
+  IntervalTreap t;
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t lo = rng.next_below(1 << 16);
+    const std::uint64_t hi = lo + rng.next_below(256);
+    if (rng.next_below(4) == 0) {
+      t.erase_range(lo, hi);
+    } else if (rng.next_below(2) == 0) {
+      t.insert_writer(lo, hi, acc(op + 1), [](auto, auto, const auto&) {});
+    } else {
+      t.insert_reader(lo, hi, acc(op + 1),
+                      [&](const Accessor&, const Accessor&) {
+                        return rng.next_below(2) == 0;
+                      });
+    }
+    if (op % 2000 == 0) {
+      ASSERT_TRUE(t.check_invariants()) << "op=" << op;
+    }
+  }
+  EXPECT_TRUE(t.check_invariants());
+}
