@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sharded_history.dir/ext_sharded_history.cpp.o"
+  "CMakeFiles/ext_sharded_history.dir/ext_sharded_history.cpp.o.d"
+  "ext_sharded_history"
+  "ext_sharded_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sharded_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

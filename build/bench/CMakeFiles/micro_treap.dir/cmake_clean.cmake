@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_treap.dir/micro_treap.cpp.o"
+  "CMakeFiles/micro_treap.dir/micro_treap.cpp.o.d"
+  "micro_treap"
+  "micro_treap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_treap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

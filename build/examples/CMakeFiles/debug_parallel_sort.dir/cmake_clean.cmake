@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_parallel_sort.dir/debug_parallel_sort.cpp.o"
+  "CMakeFiles/debug_parallel_sort.dir/debug_parallel_sort.cpp.o.d"
+  "debug_parallel_sort"
+  "debug_parallel_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_parallel_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_lifecycle.dir/memory_lifecycle.cpp.o"
+  "CMakeFiles/memory_lifecycle.dir/memory_lifecycle.cpp.o.d"
+  "memory_lifecycle"
+  "memory_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

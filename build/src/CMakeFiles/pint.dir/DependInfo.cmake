@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cracer/cracer_detector.cpp" "src/CMakeFiles/pint.dir/cracer/cracer_detector.cpp.o" "gcc" "src/CMakeFiles/pint.dir/cracer/cracer_detector.cpp.o.d"
+  "/root/repo/src/detect/instrument.cpp" "src/CMakeFiles/pint.dir/detect/instrument.cpp.o" "gcc" "src/CMakeFiles/pint.dir/detect/instrument.cpp.o.d"
+  "/root/repo/src/kernels/chol.cpp" "src/CMakeFiles/pint.dir/kernels/chol.cpp.o" "gcc" "src/CMakeFiles/pint.dir/kernels/chol.cpp.o.d"
+  "/root/repo/src/kernels/fft.cpp" "src/CMakeFiles/pint.dir/kernels/fft.cpp.o" "gcc" "src/CMakeFiles/pint.dir/kernels/fft.cpp.o.d"
+  "/root/repo/src/kernels/heat.cpp" "src/CMakeFiles/pint.dir/kernels/heat.cpp.o" "gcc" "src/CMakeFiles/pint.dir/kernels/heat.cpp.o.d"
+  "/root/repo/src/kernels/mmul.cpp" "src/CMakeFiles/pint.dir/kernels/mmul.cpp.o" "gcc" "src/CMakeFiles/pint.dir/kernels/mmul.cpp.o.d"
+  "/root/repo/src/kernels/registry.cpp" "src/CMakeFiles/pint.dir/kernels/registry.cpp.o" "gcc" "src/CMakeFiles/pint.dir/kernels/registry.cpp.o.d"
+  "/root/repo/src/kernels/sort.cpp" "src/CMakeFiles/pint.dir/kernels/sort.cpp.o" "gcc" "src/CMakeFiles/pint.dir/kernels/sort.cpp.o.d"
+  "/root/repo/src/kernels/strassen.cpp" "src/CMakeFiles/pint.dir/kernels/strassen.cpp.o" "gcc" "src/CMakeFiles/pint.dir/kernels/strassen.cpp.o.d"
+  "/root/repo/src/om/order_maintenance.cpp" "src/CMakeFiles/pint.dir/om/order_maintenance.cpp.o" "gcc" "src/CMakeFiles/pint.dir/om/order_maintenance.cpp.o.d"
+  "/root/repo/src/oracle/oracle_detector.cpp" "src/CMakeFiles/pint.dir/oracle/oracle_detector.cpp.o" "gcc" "src/CMakeFiles/pint.dir/oracle/oracle_detector.cpp.o.d"
+  "/root/repo/src/pint/pint_detector.cpp" "src/CMakeFiles/pint.dir/pint/pint_detector.cpp.o" "gcc" "src/CMakeFiles/pint.dir/pint/pint_detector.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/CMakeFiles/pint.dir/runtime/scheduler.cpp.o" "gcc" "src/CMakeFiles/pint.dir/runtime/scheduler.cpp.o.d"
+  "/root/repo/src/stint/stint_detector.cpp" "src/CMakeFiles/pint.dir/stint/stint_detector.cpp.o" "gcc" "src/CMakeFiles/pint.dir/stint/stint_detector.cpp.o.d"
+  "/root/repo/src/support/fiber.cpp" "src/CMakeFiles/pint.dir/support/fiber.cpp.o" "gcc" "src/CMakeFiles/pint.dir/support/fiber.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

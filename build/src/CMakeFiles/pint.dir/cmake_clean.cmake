@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pint.dir/cracer/cracer_detector.cpp.o"
+  "CMakeFiles/pint.dir/cracer/cracer_detector.cpp.o.d"
+  "CMakeFiles/pint.dir/detect/instrument.cpp.o"
+  "CMakeFiles/pint.dir/detect/instrument.cpp.o.d"
+  "CMakeFiles/pint.dir/kernels/chol.cpp.o"
+  "CMakeFiles/pint.dir/kernels/chol.cpp.o.d"
+  "CMakeFiles/pint.dir/kernels/fft.cpp.o"
+  "CMakeFiles/pint.dir/kernels/fft.cpp.o.d"
+  "CMakeFiles/pint.dir/kernels/heat.cpp.o"
+  "CMakeFiles/pint.dir/kernels/heat.cpp.o.d"
+  "CMakeFiles/pint.dir/kernels/mmul.cpp.o"
+  "CMakeFiles/pint.dir/kernels/mmul.cpp.o.d"
+  "CMakeFiles/pint.dir/kernels/registry.cpp.o"
+  "CMakeFiles/pint.dir/kernels/registry.cpp.o.d"
+  "CMakeFiles/pint.dir/kernels/sort.cpp.o"
+  "CMakeFiles/pint.dir/kernels/sort.cpp.o.d"
+  "CMakeFiles/pint.dir/kernels/strassen.cpp.o"
+  "CMakeFiles/pint.dir/kernels/strassen.cpp.o.d"
+  "CMakeFiles/pint.dir/om/order_maintenance.cpp.o"
+  "CMakeFiles/pint.dir/om/order_maintenance.cpp.o.d"
+  "CMakeFiles/pint.dir/oracle/oracle_detector.cpp.o"
+  "CMakeFiles/pint.dir/oracle/oracle_detector.cpp.o.d"
+  "CMakeFiles/pint.dir/pint/pint_detector.cpp.o"
+  "CMakeFiles/pint.dir/pint/pint_detector.cpp.o.d"
+  "CMakeFiles/pint.dir/runtime/scheduler.cpp.o"
+  "CMakeFiles/pint.dir/runtime/scheduler.cpp.o.d"
+  "CMakeFiles/pint.dir/stint/stint_detector.cpp.o"
+  "CMakeFiles/pint.dir/stint/stint_detector.cpp.o.d"
+  "CMakeFiles/pint.dir/support/fiber.cpp.o"
+  "CMakeFiles/pint.dir/support/fiber.cpp.o.d"
+  "libpint.a"
+  "libpint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coalesce.dir/test_coalesce.cpp.o"
+  "CMakeFiles/test_coalesce.dir/test_coalesce.cpp.o.d"
+  "test_coalesce"
+  "test_coalesce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coalesce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

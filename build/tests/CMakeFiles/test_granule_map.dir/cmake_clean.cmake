@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_granule_map.dir/test_granule_map.cpp.o"
+  "CMakeFiles/test_granule_map.dir/test_granule_map.cpp.o.d"
+  "test_granule_map"
+  "test_granule_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_granule_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_om.dir/test_om.cpp.o"
+  "CMakeFiles/test_om.dir/test_om.cpp.o.d"
+  "test_om"
+  "test_om.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_om.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_property.dir/test_random_property.cpp.o"
+  "CMakeFiles/test_random_property.dir/test_random_property.cpp.o.d"
+  "test_random_property"
+  "test_random_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

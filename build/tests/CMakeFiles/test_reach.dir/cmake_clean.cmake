@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reach.dir/test_reach.cpp.o"
+  "CMakeFiles/test_reach.dir/test_reach.cpp.o.d"
+  "test_reach"
+  "test_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_treap.dir/test_treap.cpp.o"
+  "CMakeFiles/test_treap.dir/test_treap.cpp.o.d"
+  "test_treap"
+  "test_treap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_treap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
