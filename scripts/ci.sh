@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI driver: tier-1 suite plus the sanitizer lanes.
+#
+#   scripts/ci.sh            # all three lanes (tier1, tsan, asan)
+#   scripts/ci.sh tier1      # plain Release build + full ctest
+#   scripts/ci.sh tsan       # -DPINT_SAN=thread build + ctest -L tsan
+#   scripts/ci.sh asan       # -DPINT_SAN=address build + ctest -L asan
+#
+# Each lane builds into its own directory (build/, build-tsan/, build-asan/)
+# so switching lanes never churns another lane's objects.  A sanitizer
+# report exits the test non-zero, so a green lane means zero reports.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+LANES=("$@")
+if [ ${#LANES[@]} -eq 0 ]; then
+  LANES=(tier1 tsan asan)
+fi
+
+run_lane() {
+  local lane="$1" dir san label
+  case "$lane" in
+    tier1) dir=build;      san="";        label="" ;;
+    tsan)  dir=build-tsan; san=thread;    label="-L tsan" ;;
+    asan)  dir=build-asan; san=address;   label="-L asan" ;;
+    *) echo "unknown lane: $lane" >&2; exit 2 ;;
+  esac
+  echo "=== lane: $lane (build dir: $dir) ==="
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release -DPINT_SAN="$san"
+  cmake --build "$dir" -j "$JOBS"
+  # shellcheck disable=SC2086  # $label is intentionally word-split
+  (cd "$dir" && ctest --output-on-failure $label)
+}
+
+for lane in "${LANES[@]}"; do
+  run_lane "$lane"
+done
+echo "=== all lanes green ==="

@@ -29,6 +29,15 @@ struct Stats {
   std::atomic<std::uint64_t> rreader_ns{0};  // right-most reader treap worker
   std::atomic<std::uint64_t> total_ns{0};    // whole detection run (wall)
 
+  // QUIESCENCE CONTRACT: the individual counters are atomic, so concurrent
+  // fetch_add from detector workers is always safe - but clear() and
+  // snapshot() are multi-field operations with no ordering between fields.
+  // Calling either while a detection run is in flight yields a torn view
+  // (some fields pre-, some post-update), and clear() would silently drop
+  // in-flight increments.  Both may only be called at quiescence: before a
+  // run starts or after PintDetector::run() has returned (all worker and
+  // history threads joined - the joins publish every increment).
+
   void clear() {
     raw_reads = raw_writes = read_intervals = write_intervals = 0;
     strands = traces = steals = reach_queries = 0;

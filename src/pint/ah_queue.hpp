@@ -12,10 +12,28 @@
 // after processing, and the producer reclaims slots (recycling the strand
 // and releasing its retired fiber already happened at processing time) once
 // the counter hits zero.
+//
+// Memory-ordering contract (see also DESIGN.md, "Memory-ordering contracts"):
+//
+//  * SINGLE PRODUCER.  try_push / reclaim / grow_unsynchronized may only be
+//    called from one thread (debug builds pin the first caller's thread id
+//    and assert on it).  `tail_` is therefore producer-owned; it is an
+//    atomic only so that monitoring reads of reclaimed() from other threads
+//    are not data races.
+//  * PUBLISH: the producer's plain store to slots_[h] is published by the
+//    release store of head_; consumers must acquire-load head() before
+//    touching at(i) for any i < head().
+//  * RECYCLE: a consumer's last use of a strand/slot is sequenced before its
+//    consumers.fetch_sub(1, acq_rel); the producer acquire-loads the counter
+//    in reclaim() and only then reuses the slot.  The fetch_sub chain forms
+//    a release sequence, so observing 0 synchronizes with *every* consumer.
+//  * grow_unsynchronized() is legal ONLY while no consumer is registered
+//    (sequential one-core mode); it asserts active_consumers() == 0.
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <thread>
 
 #include "detect/strand.hpp"
 #include "support/assert.hpp"
@@ -34,8 +52,9 @@ class AhQueue {
   /// should reclaim and retry - the readers drain independently, so this
   /// cannot deadlock.
   bool try_push(detect::Strand* s) {
+    assert_single_producer();
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
-    if (h - tail_ > mask_) return false;
+    if (h - tail_.load(std::memory_order_relaxed) > mask_) return false;
     slots_[h & mask_] = s;
     head_.store(h + 1, std::memory_order_release);
     return true;
@@ -45,12 +64,14 @@ class AhQueue {
   /// for each strand all consumers are done with.
   template <class F>
   void reclaim(F&& recycle) {
+    assert_single_producer();
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
-    while (tail_ < h) {
-      detect::Strand* s = slots_[tail_ & mask_];
+    std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    while (t < h) {
+      detect::Strand* s = slots_[t & mask_];
       if (s->consumers.load(std::memory_order_acquire) != 0) break;
       recycle(s);
-      ++tail_;
+      tail_.store(++t, std::memory_order_relaxed);
     }
   }
 
@@ -60,18 +81,39 @@ class AhQueue {
     return slots_[index & mask_];
   }
 
-  std::uint64_t reclaimed() const { return tail_; }
+  std::uint64_t reclaimed() const {
+    return tail_.load(std::memory_order_relaxed);
+  }
   std::size_t capacity() const { return mask_ + 1; }
+
+  /// Consumer threads bracket their cursor loop with register/unregister so
+  /// the producer-side structural mutation (grow_unsynchronized) can assert
+  /// quiescence instead of silently racing a live cursor.
+  void register_consumer() {
+    active_consumers_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void unregister_consumer() {
+    const int prev = active_consumers_.fetch_sub(1, std::memory_order_acq_rel);
+    PINT_ASSERT(prev > 0);
+    (void)prev;
+  }
+  int active_consumers() const {
+    return active_consumers_.load(std::memory_order_acquire);
+  }
 
   /// Doubles the ring. ONLY legal while no consumer threads are running
   /// (used by PINT's sequential one-core mode, where the whole queue is
-  /// buffered before the reader phases start).
+  /// buffered before the reader phases start): a live consumer cursor holds
+  /// a pointer into the old slot array and indexes it with the old mask.
   void grow_unsynchronized() {
+    assert_single_producer();
+    PINT_CHECK_MSG(active_consumers() == 0,
+                   "AhQueue::grow_unsynchronized with live consumer cursors");
     const std::size_t old_cap = mask_ + 1;
     const std::size_t new_cap = old_cap * 2;
     auto fresh = std::make_unique<detect::Strand*[]>(new_cap);
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
-    for (std::uint64_t i = tail_; i < h; ++i) {
+    for (std::uint64_t i = tail_.load(std::memory_order_relaxed); i < h; ++i) {
       fresh[i & (new_cap - 1)] = slots_[i & mask_];
     }
     slots_ = std::move(fresh);
@@ -79,10 +121,30 @@ class AhQueue {
   }
 
  private:
+  // Debug-only single-producer enforcement: the first producer-side call
+  // pins its thread id; every later call must come from the same thread.
+  void assert_single_producer() {
+#ifndef NDEBUG
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};  // "no producer yet"
+    if (!producer_.compare_exchange_strong(expected, self,
+                                           std::memory_order_relaxed)) {
+      PINT_CHECK_MSG(expected == self,
+                     "AhQueue producer-side call from a second thread "
+                     "(single-producer contract violated)");
+    }
+#endif
+  }
+
   std::uint64_t mask_;
   std::unique_ptr<detect::Strand*[]> slots_;
   alignas(64) std::atomic<std::uint64_t> head_{0};
-  std::uint64_t tail_ = 0;  // producer-local reclaim cursor
+  // Producer-owned reclaim cursor; atomic only for cross-thread reclaimed().
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::atomic<int> active_consumers_{0};
+#ifndef NDEBUG
+  std::atomic<std::thread::id> producer_{};
+#endif
 };
 
 }  // namespace pint::pintd

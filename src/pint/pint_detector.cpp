@@ -18,6 +18,26 @@ std::uint64_t subseed(std::uint64_t seed, std::uint64_t salt) {
   std::uint64_t s = seed + salt * 0x9e3779b97f4a7c15ULL;
   return splitmix64(s);
 }
+
+// Shared pool-take: reuse from `pool`, or allocate fresh into `owned`.  One
+// lock acquisition either way (the old per-pool copies dropped and re-took
+// the lock on the miss path).  `on_reuse` reinitialises a recycled object
+// and runs under the lock, before the object escapes the pool.
+template <class T, class Reuse>
+T* pool_take(Spinlock& mu, std::vector<T*>& pool,
+             std::vector<std::unique_ptr<T>>& owned, Reuse&& on_reuse) {
+  LockGuard<Spinlock> g(mu);
+  if (!pool.empty()) {
+    T* t = pool.back();
+    pool.pop_back();
+    on_reuse(t);
+    return t;
+  }
+  auto fresh = std::make_unique<T>();
+  T* p = fresh.get();
+  owned.push_back(std::move(fresh));
+  return p;
+}
 }  // namespace
 
 PintDetector::PintDetector(const Options& opt)
@@ -82,37 +102,15 @@ void PintDetector::recycle_strand(Strand* s) {
 }
 
 Trace* PintDetector::alloc_trace() {
-  {
-    LockGuard<Spinlock> g(tp_mu_);
-    if (!trace_pool_.empty()) {
-      Trace* t = trace_pool_.back();
-      trace_pool_.pop_back();
-      return t;
-    }
-  }
-  auto t = std::make_unique<Trace>();
-  Trace* p = t.get();
-  LockGuard<Spinlock> g(tp_mu_);
-  all_traces_.push_back(std::move(t));
-  return p;
+  return pool_take(tp_mu_, trace_pool_, all_traces_,
+                   [](Trace*) { /* callers init() before use */ });
 }
 
 TraceChunk* PintDetector::alloc_chunk() {
-  {
-    LockGuard<Spinlock> g(cp_mu_);
-    if (!chunk_pool_.empty()) {
-      TraceChunk* c = chunk_pool_.back();
-      chunk_pool_.pop_back();
-      for (auto& slot : c->slots) slot.store(nullptr, std::memory_order_relaxed);
-      c->next.store(nullptr, std::memory_order_relaxed);
-      return c;
-    }
-  }
-  auto c = std::make_unique<TraceChunk>();
-  TraceChunk* p = c.get();
-  LockGuard<Spinlock> g(cp_mu_);
-  all_chunks_.push_back(std::move(c));
-  return p;
+  return pool_take(cp_mu_, chunk_pool_, all_chunks_, [](TraceChunk* c) {
+    for (auto& slot : c->slots) slot.store(nullptr, std::memory_order_relaxed);
+    c->next.store(nullptr, std::memory_order_relaxed);
+  });
 }
 
 void PintDetector::recycle_trace(Trace* t) {
@@ -435,6 +433,7 @@ void PintDetector::reader_loop(ReaderSide side) {
   const bool use_treap = opt_.history == detect::HistoryKind::kTreap;
   StopwatchAccum& watch =
       side == ReaderSide::kLeftMost ? lreader_watch_ : rreader_watch_;
+  queue_.register_consumer();
   std::uint64_t cursor = 0;
   Backoff bo;
   for (;;) {
@@ -461,11 +460,13 @@ void PintDetector::reader_loop(ReaderSide side) {
       ++cursor;
     }
   }
+  queue_.unregister_consumer();
 }
 
 void PintDetector::shard_loop(int shard) {
   HistoryShard& hs = *shards_[std::size_t(shard)];
   const int n = int(shards_.size());
+  queue_.register_consumer();
   std::uint64_t cursor = 0;
   Backoff bo;
   for (;;) {
@@ -488,6 +489,7 @@ void PintDetector::shard_loop(int shard) {
       ++cursor;
     }
   }
+  queue_.unregister_consumer();
 }
 
 void PintDetector::finish_history_sequential() {

@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "detect/history.hpp"
+#include "support/assert.hpp"
 #include "support/timer.hpp"
 #include "treap/interval_treap.hpp"
 
@@ -32,16 +33,25 @@ constexpr std::uint64_t kShardStripeBytes = std::uint64_t(1) << 16;
 
 /// Invokes fn(piece_lo, piece_hi) for the parts of [lo, hi] whose stripe
 /// index maps to `shard` (stripe_index % nshards == shard).
+///
+/// Written to be overflow-proof over the full addr_t domain, including
+/// intervals that touch the last stripe (hi == addr_t max):
+///  * the stripe's top byte is `slo | (stripe_size-1)` - an OR can't wrap,
+///    unlike `slo + stripe_size - 1`;
+///  * the loop exits by comparing the CURRENT stripe against the last one
+///    before incrementing, so `++stripe` never wraps past the final stripe.
 template <class F>
 inline void for_shard_pieces(detect::addr_t lo, detect::addr_t hi, int shard,
                              int nshards, F&& fn) {
-  std::uint64_t stripe = lo / kShardStripeBytes;
+  PINT_ASSERT(lo <= hi);
   const std::uint64_t last = hi / kShardStripeBytes;
-  for (; stripe <= last; ++stripe) {
-    if (int(stripe % std::uint64_t(nshards)) != shard) continue;
-    const detect::addr_t slo = stripe * kShardStripeBytes;
-    const detect::addr_t shi = slo + kShardStripeBytes - 1;
-    fn(lo > slo ? lo : slo, hi < shi ? hi : shi);
+  for (std::uint64_t stripe = lo / kShardStripeBytes;; ++stripe) {
+    if (int(stripe % std::uint64_t(nshards)) == shard) {
+      const detect::addr_t slo = stripe * kShardStripeBytes;
+      const detect::addr_t shi = slo | (kShardStripeBytes - 1);
+      fn(lo > slo ? lo : slo, hi < shi ? hi : shi);
+    }
+    if (stripe == last) break;
   }
 }
 

@@ -81,6 +81,7 @@ void Scheduler::run_frame(TaskFrame* root) {
     Worker* w = workers_[i].get();
     threads.emplace_back([w] {
       t_worker = w;
+      san::adopt_current_thread_stack(w->loop_ctx_.san);
       w->loop();
       t_worker = nullptr;
     });
@@ -88,6 +89,16 @@ void Scheduler::run_frame(TaskFrame* root) {
 
   Worker* w0 = workers_[0].get();
   Worker* saved = t_worker;  // allow nested schedulers in tests
+  if (saved != nullptr && saved->cur_frame_ != nullptr) {
+    // Nested scheduler: worker 0's loop runs on the outer task's fiber, so
+    // the sanitizers must identify this loop context with that fiber stack.
+    Fiber* fb = saved->cur_frame_->fiber;
+    san::adopt_current_stack(w0->loop_ctx_.san,
+                             reinterpret_cast<const void*>(fb->stack_lo()),
+                             fb->stack_hi() - fb->stack_lo());
+  } else {
+    san::adopt_current_thread_stack(w0->loop_ctx_.san);
+  }
   t_worker = w0;
   w0->resume_next_ = root;
   w0->loop();
@@ -164,6 +175,7 @@ void Worker::loop() {
 // ---------------------------------------------------------------------------
 
 void task_entry_trampoline(void* arg) {
+  // (sanitizer entry annotation already done by fiber_entry_shim)
   TaskFrame* f = static_cast<TaskFrame*>(arg);
   Scheduler* s = f->sched;
   if (f->parent_frame == nullptr) {
@@ -188,8 +200,7 @@ void task_entry_trampoline(void* arg) {
     w->resume_wait_ = nullptr;
     s->stop_.store(true, std::memory_order_release);
     Context dummy;
-    ctx_switch(dummy, w->loop_ctx_);
-    PINT_UNREACHABLE();
+    ctx_switch_final(dummy, w->loop_ctx_);
   }
 
   TaskFrame* parent = f->parent_frame;
@@ -222,8 +233,7 @@ void task_entry_trampoline(void* arg) {
     }
   }
   Context dummy;
-  ctx_switch(dummy, w->loop_ctx_);
-  PINT_UNREACHABLE();
+  ctx_switch_final(dummy, w->loop_ctx_);
 }
 
 void spawn_prepared(TaskFrame* child) {

@@ -56,8 +56,39 @@ extern "C" void pint_fiber_thunk();
 
 namespace pint {
 
+// The sanitizer annotations must bracket the raw switch: TSan needs to know
+// the destination stack *before* execution moves there, and ASan's
+// finish-call must be the first thing that runs once this context is
+// resumed (which is exactly "after pint_ctx_switch returns").  A fresh
+// fiber's first resume never returns through here - it lands in the entry
+// trampoline, which calls san::on_fiber_entry() instead.
 void ctx_switch(Context& save, Context& load) {
+#if defined(PINT_ASAN)
+  void* fake = nullptr;
+  __sanitizer_start_switch_fiber(&fake, load.san.stack_bottom,
+                                 load.san.stack_size);
+#endif
+#if defined(PINT_TSAN)
+  __tsan_switch_to_fiber(load.san.tsan_fiber, 0);
+#endif
   pint_ctx_switch(&save.sp, load.sp);
+#if defined(PINT_ASAN)
+  __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
+}
+
+void ctx_switch_final(Context& save, Context& load) {
+#if defined(PINT_ASAN)
+  // nullptr fake-stack-save: the current stack is done for good (until the
+  // fiber is reset and entered fresh), so ASan frees its fake frames now.
+  __sanitizer_start_switch_fiber(nullptr, load.san.stack_bottom,
+                                 load.san.stack_size);
+#endif
+#if defined(PINT_TSAN)
+  __tsan_switch_to_fiber(load.san.tsan_fiber, 0);
+#endif
+  pint_ctx_switch(&save.sp, load.sp);
+  PINT_UNREACHABLE();  // a final switch is never resumed
 }
 
 namespace {
@@ -95,6 +126,15 @@ void* make_initial_sp(void* stack_base, std::size_t stack_size,
 
 }  // namespace
 
+// Every fiber starts here (the initial stack image points the thunk at this
+// shim with the Fiber* as argument): the sanitizer entry annotation must be
+// the first thing that runs on a fresh stack, before any user frame exists.
+void fiber_entry_shim(void* p) {
+  san::on_fiber_entry();
+  auto* f = static_cast<Fiber*>(p);
+  f->entry_(f->arg_);
+}
+
 Fiber* Fiber::create(std::size_t stack_bytes, Entry entry, void* arg) {
   const std::size_t pg = page_size();
   const std::size_t usable = round_up(stack_bytes < pg ? pg : stack_bytes, pg);
@@ -110,15 +150,19 @@ Fiber* Fiber::create(std::size_t stack_bytes, Entry entry, void* arg) {
   f->map_size_ = total;
   f->stack_base_ = static_cast<char*>(map) + pg;
   f->stack_size_ = usable;
+  san::create_fiber_meta(f->ctx_.san, f->stack_base_, f->stack_size_);
   f->reset(entry, arg);
   return f;
 }
 
 void Fiber::reset(Entry entry, void* arg) {
-  ctx_.sp = make_initial_sp(stack_base_, stack_size_, entry, arg);
+  entry_ = entry;
+  arg_ = arg;
+  ctx_.sp = make_initial_sp(stack_base_, stack_size_, &fiber_entry_shim, this);
 }
 
 void Fiber::destroy() {
+  san::destroy_fiber_meta(ctx_.san);
   ::munmap(map_base_, map_size_);
   delete this;
 }

@@ -20,16 +20,27 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "support/sanitizer.hpp"
+
 namespace pint {
 
-/// Saved execution context. For a live fiber this is just its stack pointer.
+/// Saved execution context: the stack pointer plus (in sanitizer lanes) the
+/// metadata TSan/ASan need to follow the stack switch (see
+/// support/sanitizer.hpp).
 struct Context {
   void* sp = nullptr;
+  san::ContextMeta san;
 };
 
 /// Switches from the current context (saved into `save`) to `load`.
 /// Returns when something later switches back into `save`.
 void ctx_switch(Context& save, Context& load);
+
+/// Final switch out of a context that will never be resumed (a task fiber
+/// whose entry function is done).  Identical to ctx_switch except that the
+/// sanitizer annotations treat the current stack as dying, so ASan releases
+/// its fake frames instead of keeping them for a resume that never comes.
+void ctx_switch_final(Context& save, Context& load);
 
 class Fiber {
  public:
@@ -56,8 +67,11 @@ class Fiber {
   void* user = nullptr;
 
  private:
+  friend void fiber_entry_shim(void* p);
   Fiber() = default;
   Context ctx_;
+  Entry entry_ = nullptr;  // user entry, invoked via the internal shim
+  void* arg_ = nullptr;
   void* stack_base_ = nullptr;  // usable base (above the guard page)
   std::size_t stack_size_ = 0;  // usable bytes
   void* map_base_ = nullptr;    // mmap base (guard page included)

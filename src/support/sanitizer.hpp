@@ -1,0 +1,139 @@
+#pragma once
+
+// Sanitizer integration for the hand-rolled fiber switch.
+//
+// ThreadSanitizer and AddressSanitizer both track per-thread stacks; a raw
+// `pint_ctx_switch` moves execution to a different stack behind their backs,
+// which makes TSan attribute events to the wrong logical thread (bogus races,
+// broken lock-sets) and makes ASan mis-handle fake-stack frames.  Both
+// runtimes expose annotation hooks for exactly this situation:
+//
+//  * TSan: every stack gets a "fiber context" (__tsan_create_fiber /
+//    __tsan_get_current_fiber); __tsan_switch_to_fiber(target) must be
+//    called immediately before the switch.  Flag 0 establishes a
+//    happens-before edge from switcher to switchee - correct here, because a
+//    real context switch on one OS thread totally orders the two.
+//  * ASan: __sanitizer_start_switch_fiber(&fake, bottom, size) before the
+//    switch and __sanitizer_finish_switch_fiber(fake, ...) first thing on
+//    the destination stack.  A context that will never be resumed (a task
+//    fiber at its final switch-out) passes nullptr for &fake so ASan
+//    releases the dying stack's fake frames.
+//
+// Everything here compiles to nothing in a plain build; the lanes are
+// selected with -DPINT_SAN=thread|address (see the top-level CMakeLists).
+
+#include <cstddef>
+
+#if defined(__SANITIZE_THREAD__)
+#define PINT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PINT_TSAN 1
+#endif
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define PINT_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PINT_ASAN 1
+#endif
+#endif
+
+#if defined(PINT_TSAN)
+#include <sanitizer/tsan_interface.h>
+#endif
+#if defined(PINT_ASAN)
+#include <pthread.h>
+
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace pint::san {
+
+/// Per-context sanitizer metadata, embedded in every pint::Context.  Empty
+/// (and zero-cost) when no sanitizer lane is active.
+struct ContextMeta {
+#if defined(PINT_TSAN)
+  void* tsan_fiber = nullptr;
+#endif
+#if defined(PINT_ASAN)
+  const void* stack_bottom = nullptr;
+  std::size_t stack_size = 0;
+#endif
+};
+
+/// Registers a fiber stack (called once per Fiber at creation).
+inline void create_fiber_meta(ContextMeta& m, const void* stack_bottom,
+                              std::size_t stack_size) {
+#if defined(PINT_TSAN)
+  m.tsan_fiber = __tsan_create_fiber(0);
+#endif
+#if defined(PINT_ASAN)
+  m.stack_bottom = stack_bottom;
+  m.stack_size = stack_size;
+#endif
+  (void)m;
+  (void)stack_bottom;
+  (void)stack_size;
+}
+
+inline void destroy_fiber_meta(ContextMeta& m) {
+#if defined(PINT_TSAN)
+  if (m.tsan_fiber != nullptr) {
+    __tsan_destroy_fiber(m.tsan_fiber);
+    m.tsan_fiber = nullptr;
+  }
+#endif
+  (void)m;
+}
+
+/// Adopts the *currently executing* stack as the context's identity; used by
+/// worker loops for their thread context (which, for nested schedulers, may
+/// itself be an outer fiber - __tsan_get_current_fiber handles both).  The
+/// caller supplies the stack bounds it knows (may be null/0 when unknown;
+/// ASan tolerates approximate bounds for a context that is only ever
+/// switched back into from annotated switches).
+inline void adopt_current_stack(ContextMeta& m, const void* stack_bottom,
+                                std::size_t stack_size) {
+#if defined(PINT_TSAN)
+  m.tsan_fiber = __tsan_get_current_fiber();
+#endif
+#if defined(PINT_ASAN)
+  m.stack_bottom = stack_bottom;
+  m.stack_size = stack_size;
+#endif
+  (void)m;
+  (void)stack_bottom;
+  (void)stack_size;
+}
+
+/// Adopts the calling OS thread's own stack (bounds via pthread) - for
+/// worker loops that run directly on a pthread, not on a fiber.
+inline void adopt_current_thread_stack(ContextMeta& m) {
+#if defined(PINT_TSAN)
+  m.tsan_fiber = __tsan_get_current_fiber();
+#endif
+#if defined(PINT_ASAN)
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+    void* base = nullptr;
+    std::size_t size = 0;
+    pthread_attr_getstack(&attr, &base, &size);
+    m.stack_bottom = base;
+    m.stack_size = size;
+    pthread_attr_destroy(&attr);
+  }
+#endif
+  (void)m;
+}
+
+/// First statement on a freshly entered fiber (the entry trampoline): closes
+/// the switch that ASan opened on the source stack.
+inline void on_fiber_entry() {
+#if defined(PINT_ASAN)
+  __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
+}
+
+}  // namespace pint::san

@@ -117,6 +117,7 @@ void fiber_entry(void* p) {
 
 TEST(Fiber, SwitchInAndOut) {
   Context main_ctx;
+  san::adopt_current_thread_stack(main_ctx.san);
   FiberArg arg;
   arg.back = &main_ctx;
   Fiber* f = Fiber::create(64 * 1024, &fiber_entry, &arg);
@@ -140,6 +141,7 @@ TEST(Fiber, StackRangeNonEmpty) {
 
 TEST(Fiber, ResetReusesStack) {
   Context main_ctx;
+  san::adopt_current_thread_stack(main_ctx.san);
   FiberArg a1;
   a1.back = &main_ctx;
   Fiber* f = Fiber::create(64 * 1024, &fiber_entry, &a1);
@@ -180,6 +182,7 @@ TEST(FiberDeathTest, GuardPageCatchesOverflow) {
   EXPECT_DEATH(
       {
         Context main_ctx;
+        san::adopt_current_thread_stack(main_ctx.san);
         Fiber* f = Fiber::create(64 * 1024, &deep_recursion_entry, nullptr);
         ctx_switch(main_ctx, f->context());
       },
