@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # CI driver: tier-1 suite plus the sanitizer lanes.
 #
-#   scripts/ci.sh            # all three lanes (tier1, tsan, asan)
+#   scripts/ci.sh            # all lanes (tier1, tsan, asan, faults)
 #   scripts/ci.sh tier1      # plain Release build + full ctest
 #   scripts/ci.sh tsan       # -DPINT_SAN=thread build + ctest -L tsan
 #   scripts/ci.sh asan       # -DPINT_SAN=address build + ctest -L asan
+#   scripts/ci.sh faults     # fault-injection suite (ctest -L faults) in
+#                            # the plain AND the TSan builds
 #
 # Each lane builds into its own directory (build/, build-tsan/, build-asan/)
 # so switching lanes never churns another lane's objects.  A sanitizer
@@ -16,8 +18,14 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 LANES=("$@")
 if [ ${#LANES[@]} -eq 0 ]; then
-  LANES=(tier1 tsan asan)
+  LANES=(tier1 tsan asan faults)
 fi
+
+build_dir() {
+  local dir="$1" san="$2"
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release -DPINT_SAN="$san"
+  cmake --build "$dir" -j "$JOBS"
+}
 
 run_lane() {
   local lane="$1" dir san label
@@ -25,11 +33,20 @@ run_lane() {
     tier1) dir=build;      san="";        label="" ;;
     tsan)  dir=build-tsan; san=thread;    label="-L tsan" ;;
     asan)  dir=build-asan; san=address;   label="-L asan" ;;
+    faults)
+      # The fault suite must give the same verdict with and without the
+      # race detector watching the robustness machinery itself.
+      echo "=== lane: faults (build dirs: build, build-tsan) ==="
+      build_dir build ""
+      (cd build && ctest --output-on-failure -L faults)
+      build_dir build-tsan thread
+      (cd build-tsan && ctest --output-on-failure -L faults)
+      return
+      ;;
     *) echo "unknown lane: $lane" >&2; exit 2 ;;
   esac
   echo "=== lane: $lane (build dir: $dir) ==="
-  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release -DPINT_SAN="$san"
-  cmake --build "$dir" -j "$JOBS"
+  build_dir "$dir" "$san"
   # shellcheck disable=SC2086  # $label is intentionally word-split
   (cd "$dir" && ctest --output-on-failure $label)
 }

@@ -46,6 +46,10 @@ class RaceReporter {
     if (records_.size() < max_records_) {
       records_.push_back({prev_sid, cur_sid, prev_write, cur_write, lo, hi,
                           prev_tag, cur_tag});
+    } else {
+      // Counting continues above; make the record truncation itself
+      // observable instead of silently capping the detail a caller sees.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
     }
     if (verbose_) {
       std::fprintf(stderr,
@@ -67,6 +71,12 @@ class RaceReporter {
   std::uint64_t raw_reports() const {
     return raw_reports_.load(std::memory_order_acquire);
   }
+  /// Distinct races whose detail record was shed once max_records was hit
+  /// (distinct_races() keeps counting; records() holds the first
+  /// max_records of them).
+  std::uint64_t dropped_records() const {
+    return dropped_.load(std::memory_order_acquire);
+  }
   std::vector<RaceRecord> records() const {
     LockGuard<Spinlock> g(mu_);
     return records_;
@@ -78,6 +88,7 @@ class RaceReporter {
     dedup_.clear();
     distinct_.store(0);
     raw_reports_.store(0);
+    dropped_.store(0);
   }
 
  private:
@@ -96,6 +107,7 @@ class RaceReporter {
   std::vector<RaceRecord> records_;
   std::atomic<std::uint64_t> distinct_{0};
   std::atomic<std::uint64_t> raw_reports_{0};
+  std::atomic<std::uint64_t> dropped_{0};
   bool verbose_ = false;
 };
 

@@ -22,6 +22,17 @@ struct Stats {
   std::atomic<std::uint64_t> steals{0};
   std::atomic<std::uint64_t> reach_queries{0};
 
+  // Pipeline pressure & degradation (robustness layer).  These make
+  // overload and fault handling visible instead of silent: sustained
+  // queue-full pressure shows up as stalled_pushes/backoff_pauses, shed
+  // load as dropped_strands, survived allocation failures as oom_events,
+  // and watchdog interventions as watchdog_trips.
+  std::atomic<std::uint64_t> stalled_pushes{0};   // try_push found ring full
+  std::atomic<std::uint64_t> backoff_pauses{0};   // collect() backoff waits
+  std::atomic<std::uint64_t> dropped_strands{0};  // shed at the queue cap
+  std::atomic<std::uint64_t> oom_events{0};       // allocation-failure falls
+  std::atomic<std::uint64_t> watchdog_trips{0};   // stall interventions
+
   // Time, nanoseconds.
   std::atomic<std::uint64_t> core_ns{0};     // core component (wall)
   std::atomic<std::uint64_t> writer_ns{0};   // writer treap worker busy time
@@ -41,6 +52,8 @@ struct Stats {
   void clear() {
     raw_reads = raw_writes = read_intervals = write_intervals = 0;
     strands = traces = steals = reach_queries = 0;
+    stalled_pushes = backoff_pauses = dropped_strands = 0;
+    oom_events = watchdog_trips = 0;
     core_ns = writer_ns = lreader_ns = rreader_ns = total_ns = 0;
   }
 
@@ -48,6 +61,8 @@ struct Stats {
   struct Snapshot {
     std::uint64_t raw_reads, raw_writes, read_intervals, write_intervals;
     std::uint64_t strands, traces, steals, reach_queries;
+    std::uint64_t stalled_pushes, backoff_pauses, dropped_strands;
+    std::uint64_t oom_events, watchdog_trips;
     std::uint64_t core_ns, writer_ns, lreader_ns, rreader_ns, total_ns;
     double coalesce_factor() const {
       const auto raw = raw_reads + raw_writes;
@@ -56,11 +71,15 @@ struct Stats {
     }
   };
   Snapshot snapshot() const {
-    return {raw_reads.load(),      raw_writes.load(), read_intervals.load(),
-            write_intervals.load(), strands.load(),    traces.load(),
-            steals.load(),          reach_queries.load(), core_ns.load(),
-            writer_ns.load(),       lreader_ns.load(), rreader_ns.load(),
-            total_ns.load()};
+    return {raw_reads.load(),       raw_writes.load(),
+            read_intervals.load(),  write_intervals.load(),
+            strands.load(),         traces.load(),
+            steals.load(),          reach_queries.load(),
+            stalled_pushes.load(),  backoff_pauses.load(),
+            dropped_strands.load(), oom_events.load(),
+            watchdog_trips.load(),  core_ns.load(),
+            writer_ns.load(),       lreader_ns.load(),
+            rreader_ns.load(),      total_ns.load()};
   }
 };
 

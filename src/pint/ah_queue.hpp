@@ -45,7 +45,8 @@ class AhQueue {
   explicit AhQueue(std::size_t capacity_pow2)
       : mask_(capacity_pow2 - 1),
         slots_(new detect::Strand*[capacity_pow2]) {
-    PINT_CHECK_MSG((capacity_pow2 & mask_) == 0, "capacity must be a power of 2");
+    PINT_CHECK_MSG((capacity_pow2 & (capacity_pow2 - 1)) == 0,
+                   "capacity must be a power of 2");
   }
 
   /// Producer. Fails (returns false) when the ring is full; the producer
@@ -53,9 +54,10 @@ class AhQueue {
   /// cannot deadlock.
   bool try_push(detect::Strand* s) {
     assert_single_producer();
+    const std::uint64_t mask = mask_.load(std::memory_order_relaxed);
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
-    if (h - tail_.load(std::memory_order_relaxed) > mask_) return false;
-    slots_[h & mask_] = s;
+    if (h - tail_.load(std::memory_order_relaxed) > mask) return false;
+    slots_[h & mask] = s;
     head_.store(h + 1, std::memory_order_release);
     return true;
   }
@@ -65,10 +67,11 @@ class AhQueue {
   template <class F>
   void reclaim(F&& recycle) {
     assert_single_producer();
+    const std::uint64_t mask = mask_.load(std::memory_order_relaxed);
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
     std::uint64_t t = tail_.load(std::memory_order_relaxed);
     while (t < h) {
-      detect::Strand* s = slots_[t & mask_];
+      detect::Strand* s = slots_[t & mask];
       if (s->consumers.load(std::memory_order_acquire) != 0) break;
       recycle(s);
       tail_.store(++t, std::memory_order_relaxed);
@@ -78,13 +81,17 @@ class AhQueue {
   /// Consumers: published number of strands (a cursor < head() may read).
   std::uint64_t head() const { return head_.load(std::memory_order_acquire); }
   detect::Strand* at(std::uint64_t index) const {
-    return slots_[index & mask_];
+    return slots_[index & mask_.load(std::memory_order_relaxed)];
   }
 
   std::uint64_t reclaimed() const {
     return tail_.load(std::memory_order_relaxed);
   }
-  std::size_t capacity() const { return mask_ + 1; }
+  /// Monitoring-safe (the watchdog snapshot reads it cross-thread; growth
+  /// only ever happens at consumer quiescence, so a relaxed load suffices).
+  std::size_t capacity() const {
+    return std::size_t(mask_.load(std::memory_order_relaxed)) + 1;
+  }
 
   /// Consumer threads bracket their cursor loop with register/unregister so
   /// the producer-side structural mutation (grow_unsynchronized) can assert
@@ -105,19 +112,39 @@ class AhQueue {
   /// (used by PINT's sequential one-core mode, where the whole queue is
   /// buffered before the reader phases start): a live consumer cursor holds
   /// a pointer into the old slot array and indexes it with the old mask.
-  void grow_unsynchronized() {
+  ///
+  /// Bounded-growth form: returns false - leaving the ring untouched -
+  /// when doubling would exceed max_capacity (0 = unbounded) or when the
+  /// larger slot array cannot be allocated, so the caller can degrade
+  /// (shed strands, report kOutOfMemory) instead of aborting in bad_alloc.
+  bool try_grow_unsynchronized(std::size_t max_capacity) {
     assert_single_producer();
     PINT_CHECK_MSG(active_consumers() == 0,
                    "AhQueue::grow_unsynchronized with live consumer cursors");
-    const std::size_t old_cap = mask_ + 1;
+    const std::uint64_t mask = mask_.load(std::memory_order_relaxed);
+    const std::size_t old_cap = std::size_t(mask) + 1;
     const std::size_t new_cap = old_cap * 2;
-    auto fresh = std::make_unique<detect::Strand*[]>(new_cap);
+    if (max_capacity != 0 && new_cap > max_capacity) return false;
+    std::unique_ptr<detect::Strand*[]> fresh;
+    try {
+      fresh = std::make_unique<detect::Strand*[]>(new_cap);
+    } catch (const std::bad_alloc&) {
+      return false;
+    }
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
     for (std::uint64_t i = tail_.load(std::memory_order_relaxed); i < h; ++i) {
-      fresh[i & (new_cap - 1)] = slots_[i & mask_];
+      fresh[i & (new_cap - 1)] = slots_[i & mask];
     }
     slots_ = std::move(fresh);
-    mask_ = new_cap - 1;
+    mask_.store(new_cap - 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Unbounded growth; aborts (cleanly, through the error sink) if the
+  /// allocation itself fails.  Kept for callers with no degradation path.
+  void grow_unsynchronized() {
+    PINT_CHECK_MSG(try_grow_unsynchronized(0),
+                   "AhQueue ring growth failed (allocation)");
   }
 
  private:
@@ -136,7 +163,9 @@ class AhQueue {
 #endif
   }
 
-  std::uint64_t mask_;
+  // Atomic only for monitoring reads of capacity(): every mutation happens
+  // at consumer quiescence and every hot-path load is relaxed (plain mov).
+  std::atomic<std::uint64_t> mask_;
   std::unique_ptr<detect::Strand*[]> slots_;
   alignas(64) std::atomic<std::uint64_t> head_{0};
   // Producer-owned reclaim cursor; atomic only for cross-thread reclaimed().

@@ -1,10 +1,15 @@
 #include "pint/pint_detector.hpp"
 
+#include <cstdio>
 #include <cstdlib>
+#include <new>
+#include <system_error>
 #include <thread>
 
 #include "detect/history.hpp"
 #include "detect/instrument.hpp"
+#include "support/error_sink.hpp"
+#include "support/failpoint.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 
@@ -19,10 +24,26 @@ std::uint64_t subseed(std::uint64_t seed, std::uint64_t salt) {
   return splitmix64(s);
 }
 
+// How long an allocation-failure fallback waits for the pipeline to recycle
+// an object before declaring the run unsurvivable (clean abort through the
+// error sink rather than a silent hang).
+constexpr std::uint64_t kAllocWaitNs = 10ull * 1000 * 1000 * 1000;
+
+// Emergency-reserve sizes (per detector), carved out at construction while
+// memory is still available.  Sized for the transient burst between an
+// allocation failure and the pipeline drain catching up: a spawn allocates
+// up to 3 strands, so 32 strands ≈ 10 spawns of cushion.
+constexpr std::size_t kReserveStrands = 32;
+constexpr std::size_t kReserveChunks = 8;
+constexpr std::size_t kReserveTraces = 4;
+
 // Shared pool-take: reuse from `pool`, or allocate fresh into `owned`.  One
 // lock acquisition either way (the old per-pool copies dropped and re-took
 // the lock on the miss path).  `on_reuse` reinitialises a recycled object
-// and runs under the lock, before the object escapes the pool.
+// and runs under the lock, before the object escapes the pool.  Returns
+// nullptr when the fresh allocation fails - really (bad_alloc) or by
+// injection ("pool.alloc" fires only on the miss path, so `once` mode
+// deterministically fails one true allocation).
 template <class T, class Reuse>
 T* pool_take(Spinlock& mu, std::vector<T*>& pool,
              std::vector<std::unique_ptr<T>>& owned, Reuse&& on_reuse) {
@@ -33,10 +54,15 @@ T* pool_take(Spinlock& mu, std::vector<T*>& pool,
     on_reuse(t);
     return t;
   }
-  auto fresh = std::make_unique<T>();
-  T* p = fresh.get();
-  owned.push_back(std::move(fresh));
-  return p;
+  if (PINT_UNLIKELY(PINT_FAILPOINT("pool.alloc"))) return nullptr;
+  try {
+    auto fresh = std::make_unique<T>();
+    T* p = fresh.get();
+    owned.push_back(std::move(fresh));
+    return p;
+  } catch (const std::bad_alloc&) {
+    return nullptr;
+  }
 }
 }  // namespace
 
@@ -61,6 +87,43 @@ PintDetector::PintDetector(const Options& opt)
     ws->index = std::uint32_t(i);
     ws_.push_back(std::move(ws));
   }
+  seq_history_ = !opt_.parallel_history;
+
+  // One monitored lane per queue consumer (2 readers, or N shards).
+  const int nlanes = shards_.empty() ? 2 : int(shards_.size());
+  for (int i = 0; i < nlanes; ++i) {
+    auto lane = std::make_unique<ConsumerLane>();
+    if (shards_.empty()) {
+      std::snprintf(lane->name, sizeof(lane->name), "%s",
+                    i == 0 ? "lreader" : "rreader");
+    } else {
+      std::snprintf(lane->name, sizeof(lane->name), "shard%d", i);
+    }
+    // Idle until the consumer loop starts (the core phase may run long
+    // before any history work exists).
+    lane->hb.set_idle(true);
+    lanes_.push_back(std::move(lane));
+  }
+  hb_writer_.set_idle(true);
+  hb_backoff_.set_idle(true);
+
+  // Emergency reserves: carved out now so an allocation failure mid-run has
+  // a cushion while the pipeline drain catches up.
+  reserve_strands_owned_.reserve(kReserveStrands);
+  for (std::size_t i = 0; i < kReserveStrands; ++i) {
+    reserve_strands_owned_.push_back(std::make_unique<Strand>());
+    reserve_strands_.push_back(reserve_strands_owned_.back().get());
+  }
+  reserve_chunks_owned_.reserve(kReserveChunks);
+  for (std::size_t i = 0; i < kReserveChunks; ++i) {
+    reserve_chunks_owned_.push_back(std::make_unique<TraceChunk>());
+    reserve_chunks_.push_back(reserve_chunks_owned_.back().get());
+  }
+  reserve_traces_owned_.reserve(kReserveTraces);
+  for (std::size_t i = 0; i < kReserveTraces; ++i) {
+    reserve_traces_owned_.push_back(std::make_unique<Trace>());
+    reserve_traces_.push_back(reserve_traces_owned_.back().get());
+  }
 }
 
 PintDetector::~PintDetector() {
@@ -83,8 +146,17 @@ Strand* PintDetector::alloc_strand(CoreWS& ws) {
     }
   }
   if (s == nullptr) {
-    s = new Strand();
-    ws.owned.push_back(s);
+    if (PINT_UNLIKELY(PINT_FAILPOINT("pool.alloc"))) {
+      s = strand_fallback(ws);
+    } else {
+      try {
+        auto fresh = std::make_unique<Strand>();
+        ws.owned.push_back(fresh.get());  // may itself throw bad_alloc
+        s = fresh.release();
+      } catch (const std::bad_alloc&) {
+        s = strand_fallback(ws);
+      }
+    }
   }
   const std::uint64_t sid =
       (std::uint64_t(ws.index + 1) << 40) | ++ws.next_sid;
@@ -92,6 +164,129 @@ Strand* PintDetector::alloc_strand(CoreWS& ws) {
   s->owner_worker = ws.index;
   ws.strands++;
   return s;
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: allocation-failure fallbacks
+// ---------------------------------------------------------------------------
+
+void PintDetector::note_oom(const char* what) {
+  if (!oom_.exchange(true, std::memory_order_acq_rel)) {
+    error_headerf("allocation failure (%s): degrading - tapping the "
+                  "emergency reserve / draining the pipeline; the run will "
+                  "report out-of-memory\n",
+                  what);
+  }
+  stats_.oom_events.fetch_add(1, std::memory_order_relaxed);
+}
+
+Strand* PintDetector::strand_fallback(CoreWS& ws) {
+  note_oom("strand pool");
+  {
+    LockGuard<Spinlock> g(reserve_mu_);
+    if (!reserve_strands_.empty()) {
+      Strand* s = reserve_strands_.back();
+      reserve_strands_.pop_back();
+      return s;
+    }
+  }
+  // Reserve exhausted: block on the pipeline drain - the writer recycles
+  // strands into this worker's free list as consumers finish with them.
+  // Sequential mode has no concurrent drain, and a cancelled pipeline will
+  // never refill the list: both are unsurvivable dead-ends, reported
+  // cleanly through the error sink instead of hanging.
+  const std::uint64_t give_up_at = now_ns() + kAllocWaitNs;
+  Backoff bo;
+  for (;;) {
+    {
+      LockGuard<Spinlock> g(ws.pool_mu);
+      if (ws.free_list != nullptr) {
+        Strand* s = ws.free_list;
+        ws.free_list = s->pool_next;
+        return s;
+      }
+    }
+    if (seq_history_) {
+      fatal_errorf("strand allocation failed in sequential-history mode "
+                   "(nothing recycles until the reader phases; cannot "
+                   "degrade further)\n");
+    }
+    if (cancel_.load(std::memory_order_relaxed) || now_ns() > give_up_at) {
+      fatal_errorf("strand pool exhausted and the pipeline drain made no "
+                   "progress; giving up cleanly\n");
+    }
+    bo.pause();
+  }
+}
+
+Trace* PintDetector::trace_fallback() {
+  note_oom("trace pool");
+  {
+    LockGuard<Spinlock> g(reserve_mu_);
+    if (!reserve_traces_.empty()) {
+      Trace* t = reserve_traces_.back();
+      reserve_traces_.pop_back();
+      return t;
+    }
+  }
+  const std::uint64_t give_up_at = now_ns() + kAllocWaitNs;
+  Backoff bo;
+  for (;;) {
+    {
+      LockGuard<Spinlock> g(tp_mu_);
+      if (!trace_pool_.empty()) {
+        Trace* t = trace_pool_.back();
+        trace_pool_.pop_back();
+        return t;
+      }
+    }
+    if (seq_history_) {
+      fatal_errorf("trace allocation failed in sequential-history mode; "
+                   "cannot degrade further\n");
+    }
+    if (cancel_.load(std::memory_order_relaxed) || now_ns() > give_up_at) {
+      fatal_errorf("trace pool exhausted and the pipeline drain made no "
+                   "progress; giving up cleanly\n");
+    }
+    bo.pause();
+  }
+}
+
+TraceChunk* PintDetector::chunk_fallback() {
+  note_oom("chunk pool");
+  {
+    LockGuard<Spinlock> g(reserve_mu_);
+    if (!reserve_chunks_.empty()) {
+      TraceChunk* c = reserve_chunks_.back();
+      reserve_chunks_.pop_back();
+      return c;  // freshly constructed: already clean
+    }
+  }
+  const std::uint64_t give_up_at = now_ns() + kAllocWaitNs;
+  Backoff bo;
+  for (;;) {
+    {
+      LockGuard<Spinlock> g(cp_mu_);
+      if (!chunk_pool_.empty()) {
+        TraceChunk* c = chunk_pool_.back();
+        chunk_pool_.pop_back();
+        for (auto& slot : c->slots) {
+          slot.store(nullptr, std::memory_order_relaxed);
+        }
+        c->next.store(nullptr, std::memory_order_relaxed);
+        return c;
+      }
+    }
+    if (seq_history_) {
+      fatal_errorf("chunk allocation failed in sequential-history mode; "
+                   "cannot degrade further\n");
+    }
+    if (cancel_.load(std::memory_order_relaxed) || now_ns() > give_up_at) {
+      fatal_errorf("chunk pool exhausted and the pipeline drain made no "
+                   "progress; giving up cleanly\n");
+    }
+    bo.pause();
+  }
 }
 
 void PintDetector::recycle_strand(Strand* s) {
@@ -102,15 +297,20 @@ void PintDetector::recycle_strand(Strand* s) {
 }
 
 Trace* PintDetector::alloc_trace() {
-  return pool_take(tp_mu_, trace_pool_, all_traces_,
-                   [](Trace*) { /* callers init() before use */ });
+  Trace* t = pool_take(tp_mu_, trace_pool_, all_traces_,
+                       [](Trace*) { /* callers init() before use */ });
+  return PINT_LIKELY(t != nullptr) ? t : trace_fallback();
 }
 
 TraceChunk* PintDetector::alloc_chunk() {
-  return pool_take(cp_mu_, chunk_pool_, all_chunks_, [](TraceChunk* c) {
-    for (auto& slot : c->slots) slot.store(nullptr, std::memory_order_relaxed);
-    c->next.store(nullptr, std::memory_order_relaxed);
-  });
+  TraceChunk* c =
+      pool_take(cp_mu_, chunk_pool_, all_chunks_, [](TraceChunk* ch) {
+        for (auto& slot : ch->slots) {
+          slot.store(nullptr, std::memory_order_relaxed);
+        }
+        ch->next.store(nullptr, std::memory_order_relaxed);
+      });
+  return PINT_LIKELY(c != nullptr) ? c : chunk_fallback();
 }
 
 void PintDetector::recycle_trace(Trace* t) {
@@ -300,7 +500,7 @@ bool PintDetector::on_task_retire(rt::Worker& w, rt::TaskFrame& f) {
   // worker processes this strand).
   auto& ws = *static_cast<CoreWS*>(w.det_worker);
   auto* u = static_cast<Strand*>(f.det_strand);
-  if (!opt_.parallel_history) {
+  if (seq_history_) {
     // Phased one-core mode: the whole run is a single trace, so any reuse of
     // this fiber's stack is by a strand strictly later in trace order - the
     // clear recorded on this return node is processed first (paper §III-F).
@@ -321,25 +521,56 @@ void PintDetector::collect(Strand* s) {
   const std::int32_t nconsumers =
       shards_.empty() ? 3 : std::int32_t(shards_.size());
   s->consumers.store(nconsumers, std::memory_order_release);
+  bool published = true;
   Backoff bo;
-  while (!queue_.try_push(s)) {
-    if (!opt_.parallel_history) {
+  for (;;) {
+    // "ahqueue.push.full" simulates queue-full pressure: a fired hit makes
+    // this attempt behave as if the ring had no room.
+    const bool forced_full = PINT_FAILPOINT("ahqueue.push.full");
+    if (PINT_LIKELY(!forced_full) && queue_.try_push(s)) break;
+    stats_.stalled_pushes.fetch_add(1, std::memory_order_relaxed);
+    if (seq_history_) {
       // Sequential mode buffers the entire run before the reader phases, so
-      // the ring simply grows (no consumers are live yet).
-      queue_.grow_unsynchronized();
+      // the ring grows (no consumers are live yet) - up to the configured
+      // cap, past which the strand is shed from the history: its deferred
+      // resources are still released below, only its accesses are lost, and
+      // the run reports kOutOfMemory.
+      if (!queue_.try_grow_unsynchronized(opt_.max_queue_capacity)) {
+        note_oom("history ring at max_queue_capacity");
+        dropped_strands_.fetch_add(1, std::memory_order_relaxed);
+        stats_.dropped_strands.fetch_add(1, std::memory_order_relaxed);
+        published = false;
+        break;
+      }
       continue;
     }
     queue_.reclaim([this](Strand* d) { recycle_strand(d); });
+    // The backoff path is alive-but-stalled: it beats its own heartbeat
+    // (so the watchdog blames the stage that stopped draining, not the
+    // waiting writer) and honors cancellation so a dead consumer cannot
+    // wedge collection forever.
+    hb_backoff_.set_idle(false);
+    hb_backoff_.beat();
+    stats_.backoff_pauses.fetch_add(1, std::memory_order_relaxed);
+    if (PINT_UNLIKELY(cancel_.load(std::memory_order_relaxed))) {
+      dropped_strands_.fetch_add(1, std::memory_order_relaxed);
+      stats_.dropped_strands.fetch_add(1, std::memory_order_relaxed);
+      published = false;
+      break;
+    }
     bo.pause();
   }
-  ++pushed_;
-  if (opt_.record_collection_order) collection_log_.push_back(s->label);
-  // Algorithm 2, lines 42-44.
+  if (PINT_LIKELY(published)) {
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+    if (opt_.record_collection_order) collection_log_.push_back(s->label);
+  }
+  // Algorithm 2, lines 42-44.  Runs even for shed strands: successors must
+  // still become collectable.
   if (s->collect_child != nullptr) {
     s->collect_child->pred.fetch_sub(1, std::memory_order_acq_rel);
   }
   process_writer(s);
-  if (shards_.empty()) {
+  if (shards_.empty() && published) {
     s->consumers.fetch_sub(1, std::memory_order_acq_rel);
   }
 }
@@ -406,6 +637,7 @@ bool PintDetector::collect_from(CoreWS& ws, bool* drained) {
 void PintDetector::writer_loop() {
   Backoff bo;
   for (;;) {
+    if (PINT_UNLIKELY(cancel_.load(std::memory_order_relaxed))) break;
     const bool done_before_scan = core_done_.load(std::memory_order_acquire);
     bool progress = false;
     bool all_drained = true;
@@ -417,12 +649,55 @@ void PintDetector::writer_loop() {
     queue_.reclaim([this](Strand* d) { recycle_strand(d); });
     if (done_before_scan && all_drained) break;
     if (progress) {
+      hb_writer_.set_idle(false);
+      hb_writer_.beat();
       bo.reset();
     } else {
+      // Nothing collectable right now: the core workers haven't produced
+      // (or a first-strand pred gate is closed).  A legitimate wait, not a
+      // stall - the watchdog must not blame the writer for a slow core.
+      hb_writer_.set_idle(true);
       bo.pause();
     }
   }
+  // Set even on cancellation so consumer loops drain what was published
+  // and exit instead of spinning on a writer that is gone.
   collecting_done_.store(true, std::memory_order_release);
+}
+
+template <class ProcessFn>
+void PintDetector::consume_loop(ConsumerLane& lane, ProcessFn&& process) {
+  queue_.register_consumer();
+  std::uint64_t cursor = 0;
+  Backoff bo;
+  for (;;) {
+    const std::uint64_t h = queue_.head();
+    if (cursor == h) {
+      if (collecting_done_.load(std::memory_order_acquire) &&
+          cursor == queue_.head()) {
+        break;
+      }
+      lane.hb.set_idle(true);
+      bo.pause();
+      continue;
+    }
+    lane.hb.set_idle(false);
+    bo.reset();
+    while (cursor < h) {
+      // Injection point for consumer stalls: with a delay-mode fail point
+      // configured, this sleeps mid-processing while the lane is BUSY,
+      // which is exactly the shape the watchdog exists to catch.
+      (void)PINT_FAILPOINT("reader.stall");
+      Strand* s = queue_.at(cursor);
+      process(s);
+      s->consumers.fetch_sub(1, std::memory_order_acq_rel);
+      ++cursor;
+      lane.cursor.store(cursor, std::memory_order_relaxed);
+      lane.hb.beat();
+    }
+  }
+  lane.hb.set_idle(true);
+  queue_.unregister_consumer();
 }
 
 void PintDetector::reader_loop(ReaderSide side) {
@@ -433,63 +708,27 @@ void PintDetector::reader_loop(ReaderSide side) {
   const bool use_treap = opt_.history == detect::HistoryKind::kTreap;
   StopwatchAccum& watch =
       side == ReaderSide::kLeftMost ? lreader_watch_ : rreader_watch_;
-  queue_.register_consumer();
-  std::uint64_t cursor = 0;
-  Backoff bo;
-  for (;;) {
-    const std::uint64_t h = queue_.head();
-    if (cursor == h) {
-      if (collecting_done_.load(std::memory_order_acquire) &&
-          cursor == queue_.head()) {
-        break;
-      }
-      bo.pause();
-      continue;
+  ConsumerLane& lane = *lanes_[side == ReaderSide::kLeftMost ? 0 : 1];
+  consume_loop(lane, [&](Strand* s) {
+    watch.start();
+    if (use_treap) {
+      detect::process_reader_treap(t, *s, reach_, rep_, stats_, side);
+    } else {
+      detect::process_reader_treap(m, *s, reach_, rep_, stats_, side);
     }
-    bo.reset();
-    while (cursor < h) {
-      Strand* s = queue_.at(cursor);
-      watch.start();
-      if (use_treap) {
-        detect::process_reader_treap(t, *s, reach_, rep_, stats_, side);
-      } else {
-        detect::process_reader_treap(m, *s, reach_, rep_, stats_, side);
-      }
-      watch.stop();
-      s->consumers.fetch_sub(1, std::memory_order_acq_rel);
-      ++cursor;
-    }
-  }
-  queue_.unregister_consumer();
+    watch.stop();
+  });
 }
 
 void PintDetector::shard_loop(int shard) {
   HistoryShard& hs = *shards_[std::size_t(shard)];
   const int n = int(shards_.size());
-  queue_.register_consumer();
-  std::uint64_t cursor = 0;
-  Backoff bo;
-  for (;;) {
-    const std::uint64_t h = queue_.head();
-    if (cursor == h) {
-      if (collecting_done_.load(std::memory_order_acquire) &&
-          cursor == queue_.head()) {
-        break;
-      }
-      bo.pause();
-      continue;
-    }
-    bo.reset();
-    while (cursor < h) {
-      Strand* s = queue_.at(cursor);
-      hs.watch.start();
-      hs.process(*s, shard, n, reach_, rep_, stats_);
-      hs.watch.stop();
-      s->consumers.fetch_sub(1, std::memory_order_acq_rel);
-      ++cursor;
-    }
-  }
-  queue_.unregister_consumer();
+  ConsumerLane& lane = *lanes_[std::size_t(shard)];
+  consume_loop(lane, [&](Strand* s) {
+    hs.watch.start();
+    hs.process(*s, shard, n, reach_, rep_, stats_);
+    hs.watch.stop();
+  });
 }
 
 void PintDetector::finish_history_sequential() {
@@ -508,9 +747,119 @@ void PintDetector::finish_history_sequential() {
 // Run orchestration
 // ---------------------------------------------------------------------------
 
-void PintDetector::run(std::function<void()> fn) {
+namespace {
+/// Blocks a gated history thread until run() releases (go) or rolls back
+/// (abort) the spawn batch.  Returns true to proceed into the loop.
+bool wait_gate(const std::atomic<int>& gate) {
+  Backoff bo;
+  for (;;) {
+    const int g = gate.load(std::memory_order_acquire);
+    if (g != 0) return g == 1;
+    bo.pause();
+  }
+}
+}  // namespace
+
+bool PintDetector::spawn_history_threads(std::thread* writer,
+                                         std::vector<std::thread>* history) {
+  // Threads hold at the gate until the whole batch spawned: none of them
+  // touches the queue (producer pin, consumer registration) or the trace
+  // cursors before release, so a partial batch can be joined and the run
+  // rolled over to sequential-history mode with no shared state poisoned.
+  gate_.store(0, std::memory_order_release);
+  try {
+    if (PINT_FAILPOINT("history.spawn")) {
+      throw std::system_error(
+          std::make_error_code(std::errc::resource_unavailable_try_again),
+          "injected history.spawn failure");
+    }
+    *writer = std::thread([this] {
+      if (wait_gate(gate_)) writer_loop();
+    });
+    if (shards_.empty()) {
+      for (int i = 0; i < 2; ++i) {
+        if (PINT_FAILPOINT("history.spawn")) {
+          throw std::system_error(
+              std::make_error_code(std::errc::resource_unavailable_try_again),
+              "injected history.spawn failure");
+        }
+        const ReaderSide side =
+            i == 0 ? ReaderSide::kLeftMost : ReaderSide::kRightMost;
+        history->emplace_back([this, side] {
+          if (wait_gate(gate_)) reader_loop(side);
+        });
+      }
+    } else {
+      for (int k = 0; k < int(shards_.size()); ++k) {
+        if (PINT_FAILPOINT("history.spawn")) {
+          throw std::system_error(
+              std::make_error_code(std::errc::resource_unavailable_try_again),
+              "injected history.spawn failure");
+        }
+        history->emplace_back([this, k] {
+          if (wait_gate(gate_)) shard_loop(k);
+        });
+      }
+    }
+  } catch (const std::system_error& e) {
+    // Roll back: release every thread that did spawn straight to exit.
+    gate_.store(2, std::memory_order_release);
+    if (writer->joinable()) writer->join();
+    for (auto& t : *history) {
+      if (t.joinable()) t.join();
+    }
+    history->clear();
+    error_headerf("history thread spawn failed (%s): falling back to the "
+                  "sequential one-core history mode\n",
+                  e.what());
+    return false;
+  }
+  gate_.store(1, std::memory_order_release);
+  return true;
+}
+
+void PintDetector::dump_progress(const char* stalled) {
+  // Runs on the watchdog monitor thread while the pipeline may still be
+  // live: reads only atomics (queue cursors, heartbeats, stats counters).
+  std::FILE* f = error_stream();
+  error_headerf(
+      "WATCHDOG: pipeline stage '%s' busy but silent for %u ms - progress "
+      "snapshot follows; cancelling the history pipeline\n",
+      stalled, opt_.watchdog_ms);
+  const std::uint64_t head = queue_.head();
+  const std::uint64_t reclaimed = queue_.reclaimed();
+  std::fprintf(f, "  queue: head=%llu reclaimed=%llu in-flight=%llu capacity=%zu\n",
+               (unsigned long long)head, (unsigned long long)reclaimed,
+               (unsigned long long)(head - reclaimed), queue_.capacity());
+  std::fprintf(
+      f, "  writer: pushed=%llu beats=%llu idle=%d\n",
+      (unsigned long long)pushed_.load(std::memory_order_relaxed),
+      (unsigned long long)hb_writer_.beats(), int(hb_writer_.idle()));
+  std::fprintf(
+      f,
+      "  collector-backoff: stalled_pushes=%llu backoff_pauses=%llu "
+      "dropped_strands=%llu beats=%llu\n",
+      (unsigned long long)stats_.stalled_pushes.load(std::memory_order_relaxed),
+      (unsigned long long)stats_.backoff_pauses.load(std::memory_order_relaxed),
+      (unsigned long long)dropped_strands_.load(std::memory_order_relaxed),
+      (unsigned long long)hb_backoff_.beats());
+  for (const auto& lane : lanes_) {
+    std::fprintf(
+        f, "  consumer %-8s cursor=%llu beats=%llu idle=%d\n", lane->name,
+        (unsigned long long)lane->cursor.load(std::memory_order_relaxed),
+        (unsigned long long)lane->hb.beats(), int(lane->hb.idle()));
+  }
+  std::fflush(f);
+}
+
+RunResult PintDetector::run(std::function<void()> fn) {
   PINT_CHECK_MSG(!used_, "PintDetector instances are single-use");
   used_ = true;
+  RunResult result;
+
+  set_run_context("seed=%llu cw=%d shards=%d mode=%s",
+                  (unsigned long long)opt_.seed, opt_.core_workers,
+                  int(shards_.size()), seq_history_ ? "seq" : "par");
 
   rt::Scheduler::Options so;
   so.workers = opt_.core_workers;
@@ -532,18 +881,34 @@ void PintDetector::run(std::function<void()> fn) {
   detect::set_active_detector(this);
   Timer total;
 
-  if (opt_.parallel_history) {
-    std::thread writer([this] { writer_loop(); });
-    std::vector<std::thread> history;
-    if (shards_.empty()) {
-      history.emplace_back([this] { reader_loop(ReaderSide::kLeftMost); });
-      history.emplace_back([this] { reader_loop(ReaderSide::kRightMost); });
-    } else {
-      for (int k = 0; k < int(shards_.size()); ++k) {
-        history.emplace_back([this, k] { shard_loop(k); });
-      }
-    }
+  std::thread writer;
+  std::vector<std::thread> history;
+  if (!seq_history_ && !spawn_history_threads(&writer, &history)) {
+    // Graceful fallback: the paper's phased one-core history mode needs no
+    // extra threads.  Detection stays exact; only the asynchrony is lost.
+    seq_history_ = true;
+    result.degraded_sequential_history = true;
+    set_run_context("seed=%llu cw=%d shards=%d mode=seq-fallback",
+                    (unsigned long long)opt_.seed, opt_.core_workers,
+                    int(shards_.size()));
+  }
 
+  Watchdog::Options wo;
+  wo.deadline_ms = opt_.watchdog_ms;
+  Watchdog wd(wo);
+  if (opt_.watchdog_ms != 0) {
+    wd.add("writer", &hb_writer_);
+    wd.add("collector-backoff", &hb_backoff_);
+    for (auto& lane : lanes_) wd.add(lane->name, &lane->hb);
+    wd.set_snapshot([this](const char* stalled) { dump_progress(stalled); });
+    wd.set_on_stall([this](const char*) {
+      stats_.watchdog_trips.fetch_add(1, std::memory_order_relaxed);
+      cancel_.store(true, std::memory_order_release);
+    });
+    wd.arm();
+  }
+
+  if (!seq_history_) {
     Timer core;
     sched.run([&] { fn(); });
     stats_.core_ns.store(core.elapsed_ns());
@@ -560,6 +925,8 @@ void PintDetector::run(std::function<void()> fn) {
     core_done_.store(true, std::memory_order_release);
     finish_history_sequential();
   }
+
+  wd.disarm();
 
   stats_.total_ns.store(total.elapsed_ns());
   stats_.writer_ns.store(writer_watch_.total_ns());
@@ -588,6 +955,18 @@ void PintDetector::run(std::function<void()> fn) {
 
   detect::set_active_detector(nullptr);
   sched_ = nullptr;
+
+  result.watchdog_tripped = wd.tripped();
+  result.dropped_strands = dropped_strands_.load(std::memory_order_relaxed);
+  if (result.watchdog_tripped) {
+    result.status = RunStatus::kStalled;
+  } else if (oom_.load(std::memory_order_acquire)) {
+    result.status = RunStatus::kOutOfMemory;
+  } else {
+    result.status = RunStatus::kOk;
+  }
+  clear_run_context();
+  return result;
 }
 
 }  // namespace pint::pintd

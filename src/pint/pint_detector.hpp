@@ -20,9 +20,11 @@
 // and the three treap phases run afterwards on the calling thread, which
 // makes the Fig. 2 work breakdown directly measurable.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "detect/detector.hpp"
@@ -36,9 +38,46 @@
 #include "reach/sp_order.hpp"
 #include "runtime/scheduler.hpp"
 #include "support/timer.hpp"
+#include "support/watchdog.hpp"
 #include "treap/interval_treap.hpp"
 
 namespace pint::pintd {
+
+/// Terminal status of one detection run.  Anything other than kOk means the
+/// pipeline degraded; the reporter/stats still describe whatever detection
+/// work completed (see DESIGN.md "Failure model & degradation").
+enum class RunStatus : std::uint8_t {
+  kOk = 0,
+  /// An allocation failed (strand/trace/chunk pool, or the sequential-mode
+  /// ring cap was hit).  The run completed by draining the pipeline and/or
+  /// shedding strands; detection results cover the surviving strands.
+  kOutOfMemory = 1,
+  /// The watchdog found a busy pipeline stage silent past its deadline,
+  /// dumped a progress snapshot to the error sink, and cancelled the
+  /// history pipeline so run() could return instead of hanging.
+  kStalled = 2,
+};
+
+struct RunResult {
+  RunStatus status = RunStatus::kOk;
+  /// History threads could not be spawned; the run fell back to the
+  /// paper's sequential one-core history mode (status stays kOk - the
+  /// detection itself is complete and exact).
+  bool degraded_sequential_history = false;
+  bool watchdog_tripped = false;
+  /// Strands shed at the sequential-mode ring cap (kOutOfMemory only).
+  std::uint64_t dropped_strands = 0;
+
+  bool ok() const { return status == RunStatus::kOk; }
+  const char* status_name() const {
+    switch (status) {
+      case RunStatus::kOk: return "ok";
+      case RunStatus::kOutOfMemory: return "out-of-memory";
+      case RunStatus::kStalled: return "stalled";
+    }
+    return "?";
+  }
+};
 
 class PintDetector final : public detect::Detector, public rt::SchedulerHooks {
  public:
@@ -58,6 +97,17 @@ class PintDetector final : public detect::Detector, public rt::SchedulerHooks {
     /// owning all three stores for its stripes (requires kTreap).
     int history_shards = 0;
     std::size_t queue_capacity = std::size_t(1) << 16;
+    /// Sequential one-core mode buffers the whole run in the ring and grows
+    /// it on demand; this caps the growth (slots, power of two).  0 =
+    /// unbounded.  At the cap the run sheds strands from the history (they
+    /// are still freed/accounted) and reports kOutOfMemory instead of
+    /// growing until bad_alloc aborts the process.
+    std::size_t max_queue_capacity = 0;
+    /// Pipeline watchdog deadline: a busy pipeline stage (writer, reader /
+    /// shard, collector backoff) silent for this long dumps a progress
+    /// snapshot to the error sink and cancels the run (RunStatus::kStalled).
+    /// 0 disables the watchdog.
+    std::uint32_t watchdog_ms = 10000;
     /// Test-only: record the label of every collected strand so tests can
     /// verify the collection order is DAG-conforming (Lemmas 1-4).
     bool record_collection_order = false;
@@ -70,7 +120,10 @@ class PintDetector final : public detect::Detector, public rt::SchedulerHooks {
   ~PintDetector() override;
 
   /// Executes fn() under race detection. One run per detector instance.
-  void run(std::function<void()> fn);
+  /// Always returns (modulo unsurvivable dead-ends, which abort through the
+  /// shared error sink); the result says whether detection is complete or
+  /// the pipeline degraded.  Existing callers may ignore the result.
+  RunResult run(std::function<void()> fn);
 
   detect::RaceReporter& reporter() { return rep_; }
   const detect::Stats& stats() const { return stats_; }
@@ -121,6 +174,14 @@ class PintDetector final : public detect::Detector, public rt::SchedulerHooks {
     std::vector<detect::Strand*> owned;  // for destruction
   };
 
+  /// One queue consumer's monitored state: a heartbeat for the watchdog
+  /// plus the processing cursor, published for the progress snapshot.
+  struct ConsumerLane {
+    char name[16] = {0};
+    Heartbeat hb;
+    std::atomic<std::uint64_t> cursor{0};
+  };
+
   detect::Strand* alloc_strand(CoreWS& ws);
   void recycle_strand(detect::Strand* s);
   Trace* alloc_trace();
@@ -130,6 +191,12 @@ class PintDetector final : public detect::Detector, public rt::SchedulerHooks {
   void trace_push(CoreWS& ws, detect::Strand* s);
   void start_new_trace(CoreWS& ws);
   void seal_strand(CoreWS& ws, detect::Strand* s);
+
+  // graceful degradation (allocation-failure paths)
+  void note_oom(const char* what);
+  detect::Strand* strand_fallback(CoreWS& ws);
+  Trace* trace_fallback();
+  TraceChunk* chunk_fallback();
 
   // access-history component
   void writer_loop();
@@ -142,6 +209,15 @@ class PintDetector final : public detect::Detector, public rt::SchedulerHooks {
   void collect(detect::Strand* s);
   void process_writer(detect::Strand* s);
   void finish_history_sequential();
+  /// Drains one consumer lane's cursor against the queue; shared by
+  /// reader_loop and shard_loop.
+  template <class ProcessFn>
+  void consume_loop(ConsumerLane& lane, ProcessFn&& process);
+
+  // run orchestration / robustness
+  bool spawn_history_threads(std::thread* writer,
+                             std::vector<std::thread>* history);
+  void dump_progress(const char* stalled);
 
   Options opt_;
   reach::Engine reach_;
@@ -162,7 +238,38 @@ class PintDetector final : public detect::Detector, public rt::SchedulerHooks {
 
   std::atomic<bool> core_done_{false};
   std::atomic<bool> collecting_done_{false};
-  std::uint64_t pushed_ = 0;  // writer-local
+  // Writer-owned; atomic so the watchdog snapshot can read it.
+  std::atomic<std::uint64_t> pushed_{0};
+
+  // --- robustness state ---
+  /// Effective history mode for this run: starts as !opt_.parallel_history
+  /// and flips to true if history-thread spawn fails (graceful fallback).
+  bool seq_history_ = false;
+  /// Set by the watchdog's on-stall action (or an unsurvivable allocation
+  /// wait): pipeline loops wind down promptly instead of spinning forever.
+  std::atomic<bool> cancel_{false};
+  /// An allocation failure was survived; run() reports kOutOfMemory.
+  std::atomic<bool> oom_{false};
+  std::atomic<std::uint64_t> dropped_strands_{0};
+  /// Start gate for history threads: 0 = hold, 1 = go, 2 = abort (spawn
+  /// rollback).  Threads touch no shared pipeline structure (queue producer
+  /// pin, consumer registration) until released, so a partial spawn can be
+  /// rolled back and rerun sequentially.
+  std::atomic<int> gate_{0};
+  /// Monitored heartbeats: writer progress, collector backoff liveness,
+  /// one lane per queue consumer (2 readers or N shards).
+  Heartbeat hb_writer_;
+  Heartbeat hb_backoff_;
+  std::vector<std::unique_ptr<ConsumerLane>> lanes_;
+  // Emergency reserves, allocated up-front and tapped only after a real or
+  // injected allocation failure (then the pipeline drain takes over).
+  Spinlock reserve_mu_;
+  std::vector<std::unique_ptr<detect::Strand>> reserve_strands_owned_;
+  std::vector<detect::Strand*> reserve_strands_;
+  std::vector<std::unique_ptr<TraceChunk>> reserve_chunks_owned_;
+  std::vector<TraceChunk*> reserve_chunks_;
+  std::vector<std::unique_ptr<Trace>> reserve_traces_owned_;
+  std::vector<Trace*> reserve_traces_;
 
   // trace / chunk pools (core workers allocate, writer recycles)
   Spinlock tp_mu_;

@@ -6,18 +6,15 @@
 // PINT_CHECK   - always-on check for conditions that must hold even in
 //                release builds (cheap, on error paths only).
 // PINT_UNREACHABLE - marks impossible control flow.
-
-#include <cstdio>
-#include <cstdlib>
+//
+// All failures route through the shared error sink (support/error_sink.hpp)
+// so they carry the same run-identifying header as the watchdog's progress
+// snapshot and every other fatal path.
 
 namespace pint {
 
-[[noreturn]] inline void assert_fail(const char* expr, const char* file,
-                                     int line, const char* msg) {
-  std::fprintf(stderr, "PINT assertion failed: %s\n  at %s:%d\n  %s\n", expr,
-               file, line, msg ? msg : "");
-  std::abort();
-}
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const char* msg);
 
 }  // namespace pint
 

@@ -1,0 +1,90 @@
+#include "support/error_sink.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/spinlock.hpp"
+
+namespace pint {
+
+namespace {
+// Guarded by sink_mu: the stream pointer and the context buffer.  A spinlock
+// is fine here - every path through the sink is a failure/diagnostic path.
+Spinlock sink_mu;
+std::FILE* sink_stream = nullptr;  // nullptr = stderr
+char sink_ctx[128] = {0};
+
+std::FILE* stream_locked() { return sink_stream ? sink_stream : stderr; }
+
+void vheaderf_locked(const char* fmt, va_list ap) {
+  std::FILE* f = stream_locked();
+  if (sink_ctx[0] != '\0') {
+    std::fprintf(f, "[pint %s] ", sink_ctx);
+  } else {
+    std::fprintf(f, "[pint] ");
+  }
+  std::vfprintf(f, fmt, ap);
+  std::fflush(f);
+}
+}  // namespace
+
+std::FILE* set_error_stream(std::FILE* f) {
+  LockGuard<Spinlock> g(sink_mu);
+  std::FILE* old = sink_stream;
+  sink_stream = f;
+  return old;
+}
+
+std::FILE* error_stream() {
+  LockGuard<Spinlock> g(sink_mu);
+  return stream_locked();
+}
+
+void set_run_context(const char* fmt, ...) {
+  char buf[sizeof(sink_ctx)];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  LockGuard<Spinlock> g(sink_mu);
+  std::memcpy(sink_ctx, buf, sizeof(sink_ctx));
+}
+
+void clear_run_context() {
+  LockGuard<Spinlock> g(sink_mu);
+  sink_ctx[0] = '\0';
+}
+
+void run_context(char* buf, std::size_t len) {
+  if (len == 0) return;
+  LockGuard<Spinlock> g(sink_mu);
+  std::snprintf(buf, len, "%s", sink_ctx);
+}
+
+void error_headerf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  LockGuard<Spinlock> g(sink_mu);
+  vheaderf_locked(fmt, ap);
+  va_end(ap);
+}
+
+[[noreturn]] void fatal_errorf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  {
+    LockGuard<Spinlock> g(sink_mu);
+    vheaderf_locked(fmt, ap);
+  }
+  va_end(ap);
+  std::abort();
+}
+
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const char* msg) {
+  fatal_errorf("assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+}
+
+}  // namespace pint

@@ -1,0 +1,42 @@
+#pragma once
+
+// One sink for every failure-path line the library emits: assertion
+// failures (PINT_CHECK / PINT_ASSERT via assert_fail), fatal degradation
+// errors, and the watchdog's progress snapshot all go through the same
+// stream and carry the same run-identifying header, so a log line can
+// always be matched to the detector run that produced it.
+//
+// The sink defaults to stderr; tests redirect it with set_error_stream to
+// capture and assert on diagnostics.  The run context is a short string
+// (seed / worker counts / mode) set by the detector at run start.
+//
+// Thread-safety: all entry points may be called from any thread (the
+// watchdog monitor thread and worker threads report concurrently); the
+// header state is guarded internally.  set_error_stream / set_run_context
+// are expected at quiescence (test setup, run start) but are safe anytime.
+
+#include <cstdio>
+
+namespace pint {
+
+/// Replaces the sink stream (nullptr resets to stderr). Returns the
+/// previous stream so tests can restore it.
+std::FILE* set_error_stream(std::FILE* f);
+std::FILE* error_stream();
+
+/// Sets the run-identifying context string, printf-style (truncated to an
+/// internal fixed buffer). Shown as "[pint <ctx>]" in every sink line.
+void set_run_context(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void clear_run_context();
+/// Copies the current context into buf (always NUL-terminated).
+void run_context(char* buf, std::size_t len);
+
+/// Writes "[pint <ctx>] " followed by the formatted message to the sink.
+/// One call = one atomic-ish line group (internally locked, then flushed).
+void error_headerf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// error_headerf, then abort(). For unsurvivable degradation dead-ends.
+[[noreturn]] void fatal_errorf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace pint

@@ -1,0 +1,187 @@
+#include "support/failpoint.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "support/rng.hpp"
+
+namespace pint::fail {
+
+namespace {
+
+struct FailPoint {
+  enum class Trigger : std::uint8_t { kAlways, kOnce, kEveryN, kProb };
+  Trigger trigger = Trigger::kAlways;
+  std::uint64_t every_n = 1;
+  double prob = 1.0;
+  std::uint64_t seed = 42;
+  std::uint32_t delay_ms = 0;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fires{0};
+
+  /// hit_index is 1-based (the fetch_add result + 1).
+  bool should_fire(std::uint64_t hit_index) {
+    switch (trigger) {
+      case Trigger::kAlways:
+        return true;
+      case Trigger::kOnce:
+        return hit_index == 1;
+      case Trigger::kEveryN:
+        return every_n != 0 && hit_index % every_n == 0;
+      case Trigger::kProb: {
+        // Counter-keyed: deterministic for a fixed seed and per-site hit
+        // order (sites called from one thread replay exactly).
+        std::uint64_t s = seed ^ (hit_index * 0x9e3779b97f4a7c15ULL);
+        const std::uint64_t r = splitmix64(s);
+        return double(r >> 11) * 0x1.0p-53 < prob;
+      }
+    }
+    return false;
+  }
+};
+
+// Registry: configure()/reset() are quiescence-only, so hit() may walk the
+// map without the lock were it not for concurrent *counter* access - which
+// is atomic.  We still take the lock for the name lookup to keep the
+// contract honest under TSan; the lock is uncontended outside fault tests
+// and never held across the injected delay.
+std::mutex reg_mu;
+std::unordered_map<std::string, std::unique_ptr<FailPoint>>& registry() {
+  static std::unordered_map<std::string, std::unique_ptr<FailPoint>> r;
+  return r;
+}
+std::atomic<int> configured_count{0};
+
+FailPoint* find(const char* name) {
+  std::lock_guard<std::mutex> g(reg_mu);
+  auto it = registry().find(name);
+  return it == registry().end() ? nullptr : it->second.get();
+}
+
+/// Parses one "term[,term...]" clause into *fp. Returns false on error.
+bool parse_spec(const std::string& spec, FailPoint* fp) {
+  bool have_trigger = false;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string term = spec.substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t colon = term.find(':');
+    const std::string key = term.substr(0, colon);
+    const std::string arg =
+        colon == std::string::npos ? "" : term.substr(colon + 1);
+    char* rest = nullptr;
+    if (key == "once" && arg.empty()) {
+      fp->trigger = FailPoint::Trigger::kOnce;
+      have_trigger = true;
+    } else if (key == "always" && arg.empty()) {
+      fp->trigger = FailPoint::Trigger::kAlways;
+      have_trigger = true;
+    } else if (key == "every" && !arg.empty()) {
+      fp->every_n = std::strtoull(arg.c_str(), &rest, 10);
+      if (*rest != '\0' || fp->every_n == 0) return false;
+      fp->trigger = FailPoint::Trigger::kEveryN;
+      have_trigger = true;
+    } else if (key == "prob" && !arg.empty()) {
+      fp->prob = std::strtod(arg.c_str(), &rest);
+      if (*rest != '\0' || fp->prob < 0.0 || fp->prob > 1.0) return false;
+      fp->trigger = FailPoint::Trigger::kProb;
+      have_trigger = true;
+    } else if (key == "seed" && !arg.empty()) {
+      fp->seed = std::strtoull(arg.c_str(), &rest, 10);
+      if (*rest != '\0') return false;
+    } else if (key == "delay" && !arg.empty()) {
+      fp->delay_ms = std::uint32_t(std::strtoul(arg.c_str(), &rest, 10));
+      if (*rest != '\0') return false;
+    } else {
+      return false;
+    }
+  }
+  // A pure delay point stalls on every hit.
+  if (!have_trigger && fp->delay_ms == 0) return false;
+  return true;
+}
+
+// Load-time env pickup: the macro's fast gate (any_configured) must already
+// see env-configured points at the first site hit, so PINT_FAILPOINTS is
+// parsed before main() rather than lazily on the hot path.
+[[maybe_unused]] const bool env_init = configure_from_env();
+
+}  // namespace
+
+bool configure(const std::string& spec) {
+  bool ok = true;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      ok = false;
+      continue;
+    }
+    auto fp = std::make_unique<FailPoint>();
+    if (!parse_spec(clause.substr(eq + 1), fp.get())) {
+      ok = false;
+      continue;
+    }
+    std::lock_guard<std::mutex> g(reg_mu);
+    auto [it, inserted] =
+        registry().emplace(clause.substr(0, eq), std::move(fp));
+    if (!inserted) {
+      it->second = std::move(fp);
+    } else {
+      configured_count.fetch_add(1, std::memory_order_release);
+    }
+  }
+  return ok;
+}
+
+bool configure_from_env() {
+  const char* env = std::getenv("PINT_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return true;
+  return configure(env);
+}
+
+void reset() {
+  std::lock_guard<std::mutex> g(reg_mu);
+  registry().clear();
+  configured_count.store(0, std::memory_order_release);
+}
+
+bool any_configured() {
+  return configured_count.load(std::memory_order_relaxed) != 0;
+}
+
+bool hit(const char* name) {
+  FailPoint* fp = find(name);
+  if (fp == nullptr) return false;
+  const std::uint64_t idx = fp->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!fp->should_fire(idx)) return false;
+  fp->fires.fetch_add(1, std::memory_order_relaxed);
+  if (fp->delay_ms != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fp->delay_ms));
+  }
+  return true;
+}
+
+std::uint64_t hit_count(const char* name) {
+  FailPoint* fp = find(name);
+  return fp ? fp->hits.load(std::memory_order_relaxed) : 0;
+}
+
+std::uint64_t fire_count(const char* name) {
+  FailPoint* fp = find(name);
+  return fp ? fp->fires.load(std::memory_order_relaxed) : 0;
+}
+
+}  // namespace pint::fail

@@ -1,0 +1,81 @@
+#pragma once
+
+// Deterministic fault injection for the PINT pipeline.
+//
+// A *fail point* is a named site in the code - `PINT_FAILPOINT("pool.alloc")`
+// - that normally evaluates to false at the cost of a single relaxed atomic
+// load.  When a point of that name has been configured (programmatically or
+// through the PINT_FAILPOINTS environment variable) the site counts the hit,
+// decides per its trigger mode whether to *fire*, optionally sleeps (stall
+// injection), and returns whether the caller should simulate the failure.
+//
+// Spec grammar (env var or configure() string):
+//
+//   PINT_FAILPOINTS="<name>=<spec>[;<name>=<spec>...]"
+//   spec  := term[,term...]
+//   term  := once          fire on the first hit only
+//          | always        fire on every hit
+//          | every:N       fire on hits N, 2N, 3N, ...
+//          | prob:P        fire with probability P in [0,1] (seeded)
+//          | seed:S        RNG seed for prob (default: global seed 42)
+//          | delay:MS      when fired, sleep MS milliseconds first
+//
+// Examples:
+//   PINT_FAILPOINTS="pool.alloc=once"
+//   PINT_FAILPOINTS="reader.stall=once,delay:250;ahqueue.push.full=prob:0.5,seed:7"
+//
+// A term with `delay` but no trigger fires on every hit.  `prob` uses a
+// counter-keyed hash of the seed, so a fixed seed and a fixed per-site hit
+// order give a reproducible fire pattern.
+//
+// Build gating: with the CMake option PINT_FAILPOINTS=OFF the macro compiles
+// to a constant false and every site disappears from the hot path entirely
+// (the configuration API stays linkable so tools compile either way; tests
+// skip themselves via kCompiledIn).
+//
+// Thread-safety: hit() may be called from any thread. configure()/reset()
+// mutate the registry and are quiescence-only (before a run / in test
+// setup), mirroring the Stats contract.
+
+#include <cstdint>
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace pint::fail {
+
+#ifdef PINT_FAILPOINTS_ENABLED
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+/// Parses and installs fail points from a spec string ("" is a no-op).
+/// Returns false (and installs nothing from the bad clause on) on a parse
+/// error. Replaces points with the same name, keeps others.
+bool configure(const std::string& spec);
+/// configure(getenv("PINT_FAILPOINTS")); called once automatically at
+/// library load, callable again by tests after reset().
+bool configure_from_env();
+/// Removes every configured point and returns counters to zero.
+void reset();
+
+/// True when at least one point is configured (the macro's fast gate).
+bool any_configured();
+
+/// Site entry point used by the macro; prefer the macro in library code.
+bool hit(const char* name);
+
+/// Observability for tests: times a site was reached / times it fired.
+/// Unknown names read as 0.
+std::uint64_t hit_count(const char* name);
+std::uint64_t fire_count(const char* name);
+
+}  // namespace pint::fail
+
+#ifdef PINT_FAILPOINTS_ENABLED
+#define PINT_FAILPOINT(name) \
+  (PINT_UNLIKELY(::pint::fail::any_configured()) && ::pint::fail::hit(name))
+#else
+#define PINT_FAILPOINT(name) (false)
+#endif

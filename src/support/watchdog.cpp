@@ -1,0 +1,72 @@
+#include "support/watchdog.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/timer.hpp"
+
+namespace pint {
+
+void Watchdog::arm() {
+  if (armed_ || entries_.empty()) return;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_ = false;
+  }
+  tripped_.store(false, std::memory_order_release);
+  tripped_name_.store(nullptr, std::memory_order_release);
+  const std::uint64_t t0 = now_ns();
+  for (Entry& e : entries_) {
+    e.last_beats = e.hb->beats();
+    e.changed_at_ns = t0;
+  }
+  thread_ = std::thread([this] { monitor(); });
+  armed_ = true;
+}
+
+void Watchdog::disarm() {
+  if (!armed_) return;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  armed_ = false;
+}
+
+void Watchdog::monitor() {
+  const std::uint32_t poll_ms =
+      opt_.poll_ms != 0
+          ? opt_.poll_ms
+          : std::clamp<std::uint32_t>(opt_.deadline_ms / 4, 1, 100);
+  const std::uint64_t deadline_ns = std::uint64_t(opt_.deadline_ms) * 1000000;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (cv_.wait_for(lk, std::chrono::milliseconds(poll_ms),
+                     [this] { return stop_; })) {
+      return;  // disarmed
+    }
+    const std::uint64_t now = now_ns();
+    for (Entry& e : entries_) {
+      const std::uint64_t beats = e.hb->beats();
+      if (beats != e.last_beats || e.hb->idle()) {
+        // Progress, or a legitimate wait: both count as alive.  An idle
+        // heartbeat's deadline restarts from the moment it turns busy.
+        e.last_beats = beats;
+        e.changed_at_ns = now;
+        continue;
+      }
+      if (now - e.changed_at_ns < deadline_ns) continue;
+      // Busy and silent past the deadline: trip once and stop monitoring.
+      tripped_name_.store(e.name, std::memory_order_release);
+      tripped_.store(true, std::memory_order_release);
+      lk.unlock();
+      if (snapshot_) snapshot_(e.name);
+      if (on_stall_) on_stall_(e.name);
+      return;
+    }
+  }
+}
+
+}  // namespace pint

@@ -1,0 +1,112 @@
+#pragma once
+
+// Pipeline liveness watchdog.
+//
+// The PINT pipeline's forward-progress argument (writer collects -> queue ->
+// readers drain -> producer reclaims) holds only while every stage keeps
+// moving; a stage that stops dead turns collect() and the consumer cursors
+// into silent infinite loops.  The watchdog makes that observable: each
+// pipeline loop owns a Heartbeat it (a) beats whenever it completes a unit
+// of work and (b) marks idle while it is legitimately waiting with nothing
+// to do.  A monitor thread polls all registered heartbeats; a heartbeat
+// that is BUSY (not idle) and has not beaten for the configured deadline
+// trips the watchdog once: the snapshot callback dumps structured progress
+// state through the shared error sink, then the on-stall callback lets the
+// owner cancel the run cleanly instead of hanging.
+//
+// Heartbeat contract (see DESIGN.md "Failure model & degradation"):
+//  * beat() after every completed unit of work (strand processed, trace
+//    advanced, backoff pause survived);
+//  * set_idle(true) only at a genuine wait point (no input available yet);
+//    set_idle(false) before touching work again;
+//  * an idle heartbeat never trips; a busy, silent one always does.
+//
+// All heartbeat state is atomic with relaxed ordering - the monitor only
+// needs an eventually-consistent view, never synchronization.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pint {
+
+class Heartbeat {
+ public:
+  void beat() { beats_.fetch_add(1, std::memory_order_relaxed); }
+  void set_idle(bool idle) { idle_.store(idle, std::memory_order_relaxed); }
+  std::uint64_t beats() const {
+    return beats_.load(std::memory_order_relaxed);
+  }
+  bool idle() const { return idle_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> beats_{0};
+  std::atomic<bool> idle_{false};
+};
+
+class Watchdog {
+ public:
+  struct Options {
+    /// A busy heartbeat silent for this long trips the watchdog.
+    std::uint32_t deadline_ms = 10000;
+    /// Monitor poll period; 0 = deadline/4 clamped to [1, 100] ms.
+    std::uint32_t poll_ms = 0;
+  };
+
+  /// Both callbacks run on the monitor thread, at most once per arm();
+  /// they receive the name of the first heartbeat found stalled.
+  using SnapshotFn = std::function<void(const char* stalled)>;
+  using StallFn = std::function<void(const char* stalled)>;
+
+  explicit Watchdog(const Options& opt) : opt_(opt) {}
+  ~Watchdog() { disarm(); }
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Registration and callback setup happen before arm().
+  void add(const char* name, Heartbeat* hb) {
+    entries_.push_back(Entry{name, hb, 0, 0});
+  }
+  void set_snapshot(SnapshotFn fn) { snapshot_ = std::move(fn); }
+  void set_on_stall(StallFn fn) { on_stall_ = std::move(fn); }
+
+  /// Starts the monitor thread. No-op when already armed or when no
+  /// heartbeat is registered.
+  void arm();
+  /// Stops and joins the monitor thread (idempotent; safe if never armed).
+  void disarm();
+
+  bool tripped() const { return tripped_.load(std::memory_order_acquire); }
+  /// Name of the heartbeat that tripped, or nullptr.
+  const char* tripped_name() const {
+    return tripped_name_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Entry {
+    const char* name;
+    Heartbeat* hb;
+    std::uint64_t last_beats;
+    std::uint64_t changed_at_ns;
+  };
+
+  void monitor();
+
+  Options opt_;
+  std::vector<Entry> entries_;
+  SnapshotFn snapshot_;
+  StallFn on_stall_;
+  std::thread thread_;
+  bool armed_ = false;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;  // guarded by mu_
+  std::atomic<bool> tripped_{false};
+  std::atomic<const char*> tripped_name_{nullptr};
+};
+
+}  // namespace pint
