@@ -560,6 +560,10 @@ void PintDetector::collect(Strand* s) {
     }
     bo.pause();
   }
+  // The backoff heartbeat is busy only while the loop above spins on a full
+  // queue; every exit (push succeeded, strand shed, cancelled) returns it to
+  // idle so a past transient stall cannot trip the watchdog later.
+  hb_backoff_.set_idle(true);
   if (PINT_LIKELY(published)) {
     pushed_.fetch_add(1, std::memory_order_relaxed);
     if (opt_.record_collection_order) collection_log_.push_back(s->label);
@@ -768,6 +772,7 @@ bool PintDetector::spawn_history_threads(std::thread* writer,
   // rolled over to sequential-history mode with no shared state poisoned.
   gate_.store(0, std::memory_order_release);
   try {
+    history->reserve(shards_.empty() ? 2 : shards_.size());
     if (PINT_FAILPOINT("history.spawn")) {
       throw std::system_error(
           std::make_error_code(std::errc::resource_unavailable_try_again),
@@ -801,7 +806,9 @@ bool PintDetector::spawn_history_threads(std::thread* writer,
         });
       }
     }
-  } catch (const std::system_error& e) {
+  } catch (const std::exception& e) {
+    // std::system_error from std::thread, or bad_alloc growing *history -
+    // both take the same rollback to sequential-history mode.
     // Roll back: release every thread that did spawn straight to exit.
     gate_.store(2, std::memory_order_release);
     if (writer->joinable()) writer->join();

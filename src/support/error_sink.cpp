@@ -42,7 +42,7 @@ std::FILE* error_stream() {
 }
 
 void set_run_context(const char* fmt, ...) {
-  char buf[sizeof(sink_ctx)];
+  char buf[sizeof(sink_ctx)] = {0};
   va_list ap;
   va_start(ap, fmt);
   std::vsnprintf(buf, sizeof(buf), fmt, ap);

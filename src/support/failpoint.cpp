@@ -116,7 +116,6 @@ bool parse_spec(const std::string& spec, FailPoint* fp) {
 }  // namespace
 
 bool configure(const std::string& spec) {
-  bool ok = true;
   std::size_t pos = 0;
   while (pos < spec.size()) {
     std::size_t end = spec.find(';', pos);
@@ -124,16 +123,13 @@ bool configure(const std::string& spec) {
     const std::string clause = spec.substr(pos, end - pos);
     pos = end + 1;
     if (clause.empty()) continue;
+    // Stop at the first bad clause: nothing from it on is installed (the
+    // documented contract in failpoint.hpp), so a typo cannot silently arm
+    // only the tail of a spec.
     const std::size_t eq = clause.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      ok = false;
-      continue;
-    }
+    if (eq == std::string::npos || eq == 0) return false;
     auto fp = std::make_unique<FailPoint>();
-    if (!parse_spec(clause.substr(eq + 1), fp.get())) {
-      ok = false;
-      continue;
-    }
+    if (!parse_spec(clause.substr(eq + 1), fp.get())) return false;
     std::lock_guard<std::mutex> g(reg_mu);
     auto [it, inserted] =
         registry().emplace(clause.substr(0, eq), std::move(fp));
@@ -143,7 +139,7 @@ bool configure(const std::string& spec) {
       configured_count.fetch_add(1, std::memory_order_release);
     }
   }
-  return ok;
+  return true;
 }
 
 bool configure_from_env() {

@@ -143,9 +143,12 @@ TEST_F(FailPointTest, ParseErrorsAreReportedAndSkipped) {
   EXPECT_FALSE(fail::configure("p=every:0"));
   EXPECT_FALSE(fail::configure("p=prob:1.5"));
   EXPECT_FALSE(fail::configure("=once"));
-  // A bad clause doesn't take down the good ones around it.
-  EXPECT_FALSE(fail::configure("good=once;bad"));
+  // Parsing stops at the first bad clause: earlier clauses stay installed,
+  // later ones are never armed.
+  EXPECT_FALSE(fail::configure("good=once;bad;late=always"));
   EXPECT_TRUE(fail::hit("good"));
+  EXPECT_FALSE(fail::hit("late"));
+  EXPECT_EQ(fail::hit_count("late"), 0u);
   // Unknown names are inert.
   EXPECT_FALSE(fail::hit("never-configured"));
   EXPECT_EQ(fail::hit_count("never-configured"), 0u);
@@ -346,6 +349,35 @@ TEST_F(FailPointTest, QueueFullStormKeepsDetectionExact) {
       run_pint(o, [&] { disjoint_tree(4, pool.data(), 0); }, &clean_any);
   EXPECT_EQ(r2.status, RunStatus::kOk);
   EXPECT_FALSE(clean_any);  // and the race-free tree stays race-free
+}
+
+TEST_F(FailPointTest, TransientBackoffDoesNotTripWatchdogLater) {
+  if (!fail::kCompiledIn) GTEST_SKIP() << "fail points compiled out";
+  // Regression: a single queue-full backoff marks the collector-backoff
+  // heartbeat busy; collect() must return it to idle once the push lands,
+  // or any run outliving the watchdog deadline after one transient stall
+  // is cancelled as kStalled despite being perfectly healthy.
+  ASSERT_TRUE(fail::configure("ahqueue.push.full=once"));
+  PintDetector::Options o;
+  o.core_workers = 2;
+  o.watchdog_ms = 50;
+  std::vector<unsigned char> pool(64, 0);
+  bool any = false;
+  detect::Stats::Snapshot st{};
+  const RunResult r = run_pint(
+      o,
+      [&] {
+        racy_tree(3, pool.data());  // pushes strands; first push is stalled
+        // Keep the run alive well past the deadline after the stall.
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      },
+      &any, &st);
+  EXPECT_EQ(r.status, RunStatus::kOk);
+  EXPECT_FALSE(r.watchdog_tripped);
+  EXPECT_EQ(st.watchdog_trips, 0u);
+  EXPECT_GE(st.stalled_pushes, 1u);
+  EXPECT_EQ(fail::fire_count("ahqueue.push.full"), 1u);
+  EXPECT_TRUE(any);
 }
 
 TEST_F(FailPointTest, SequentialRingCapShedsAndReportsOom) {
