@@ -34,6 +34,8 @@ int main(int argc, char** argv) {
     s.reps = args.reps;
     s.workers = 1;
     s.system = System::kStint;
+    s.trace_out = args.trace_out;
+    s.stats_json = args.stats_json;
 
     s.coalesce = true;
     const auto on = bench::run_spec(s);

@@ -12,44 +12,27 @@
 #include <cstdio>
 
 #include "bench/harness.hpp"
-#include "cracer/cracer_detector.hpp"
 #include "kernels/kernels.hpp"
-#include "pint/pint_detector.hpp"
-#include "stint/stint_detector.hpp"
 
 using namespace pint;
+using bench::RunSpec;
+using bench::System;
 
 namespace {
 
-double run_stint(const std::string& kernel, double scale,
-                 detect::HistoryKind kind) {
-  kernels::KernelConfig kc;
-  kc.scale = scale;
-  auto k = kernels::make_kernel(kernel, kc);
-  k->prepare();
-  stint::StintDetector::Options o;
-  o.history = kind;
-  stint::StintDetector d(o);
-  d.run([&] { k->run(); });
-  PINT_CHECK(k->verify());
-  PINT_CHECK(!d.reporter().any());
-  return double(d.stats().total_ns.load()) * 1e-9;
-}
-
-double run_pint(const std::string& kernel, double scale,
-                detect::HistoryKind kind, int workers) {
-  kernels::KernelConfig kc;
-  kc.scale = scale;
-  auto k = kernels::make_kernel(kernel, kc);
-  k->prepare();
-  pintd::PintDetector::Options o;
-  o.history = kind;
-  o.core_workers = workers;
-  pintd::PintDetector d(o);
-  d.run([&] { k->run(); });
-  PINT_CHECK(k->verify());
-  PINT_CHECK(!d.reporter().any());
-  return double(d.stats().total_ns.load()) * 1e-9;
+double run_one(const bench::Args& args, const std::string& kernel,
+               double scale, System system, detect::HistoryKind kind,
+               int workers) {
+  RunSpec s;
+  s.kernel = kernel;
+  s.scale = scale;
+  s.system = system;
+  s.history = kind;
+  s.workers = workers;
+  s.reps = args.reps;
+  s.trace_out = args.trace_out;
+  s.stats_json = args.stats_json;
+  return bench::run_spec(s).seconds;
 }
 
 }  // namespace
@@ -71,12 +54,14 @@ int main(int argc, char** argv) {
   std::printf("-------+---------------------------------------+--------------------------------------\n");
 
   for (const auto& name : kernels) {
-    const double st = run_stint(name, scale, detect::HistoryKind::kTreap);
-    const double sh = run_stint(name, scale, detect::HistoryKind::kGranuleMap);
-    const double pt =
-        run_pint(name, scale, detect::HistoryKind::kTreap, workers);
-    const double ph =
-        run_pint(name, scale, detect::HistoryKind::kGranuleMap, workers);
+    const double st =
+        run_one(args, name, scale, System::kStint, detect::HistoryKind::kTreap, 1);
+    const double sh = run_one(args, name, scale, System::kStint,
+                              detect::HistoryKind::kGranuleMap, 1);
+    const double pt = run_one(args, name, scale, System::kPint,
+                              detect::HistoryKind::kTreap, workers);
+    const double ph = run_one(args, name, scale, System::kPint,
+                              detect::HistoryKind::kGranuleMap, workers);
     std::printf("%-6s | %11.3fs %11.3fs %8.2fx | %11.3fs %11.3fs %8.2fx\n",
                 name.c_str(), st, sh, sh / st, pt, ph, ph / pt);
   }

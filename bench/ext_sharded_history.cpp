@@ -15,9 +15,10 @@
 
 #include "bench/harness.hpp"
 #include "kernels/kernels.hpp"
-#include "pint/pint_detector.hpp"
 
 using namespace pint;
+using bench::RunSpec;
+using bench::System;
 
 namespace {
 
@@ -27,19 +28,18 @@ struct Row {
   double history_work_s;
 };
 
-Row run(const std::string& kernel, double scale, int shards) {
-  kernels::KernelConfig kc;
-  kc.scale = scale;
-  auto k = kernels::make_kernel(kernel, kc);
-  k->prepare();
-  pintd::PintDetector::Options o;
-  o.core_workers = 2;
-  o.history_shards = shards;
-  pintd::PintDetector d(o);
-  d.run([&] { k->run(); });
-  PINT_CHECK(k->verify());
-  PINT_CHECK(!d.reporter().any());
-  const auto s = d.stats().snapshot();
+Row run(const bench::Args& args, const std::string& kernel, double scale,
+        int shards) {
+  RunSpec spec;
+  spec.kernel = kernel;
+  spec.scale = scale;
+  spec.system = System::kPint;
+  spec.workers = 2;
+  spec.history_shards = shards;
+  spec.reps = args.reps;
+  spec.trace_out = args.trace_out;
+  spec.stats_json = args.stats_json;
+  const auto s = bench::run_spec(spec).stats;
   Row r;
   r.total_s = double(s.total_ns) * 1e-9;
   if (shards == 0) {
@@ -71,12 +71,12 @@ int main(int argc, char** argv) {
   std::printf("----------------------+------------------------------------------\n");
 
   for (const auto& name : kernels) {
-    const Row base = run(name, scale, 0);
+    const Row base = run(args, name, scale, 0);
     std::printf("%-6s %-14s | %10.3f %14.3f %14.3f\n", name.c_str(),
                 "3 role-workers", base.total_s, base.busiest_history_s,
                 base.history_work_s);
     for (int shards : {2, 4, 8}) {
-      const Row r = run(name, scale, shards);
+      const Row r = run(args, name, scale, shards);
       std::printf("%-6s %2d %-11s | %10.3f %14.3f %14.3f\n", "", shards,
                   "shards", r.total_s, r.busiest_history_s, r.history_work_s);
     }

@@ -44,6 +44,8 @@ int main(int argc, char** argv) {
     s.scale = scale;
     s.reps = args.reps;
     s.workers = 1;
+    s.trace_out = args.trace_out;
+    s.stats_json = args.stats_json;
 
     s.system = System::kStint;
     const auto stint = bench::run_spec(s);

@@ -47,6 +47,8 @@ int main(int argc, char** argv) {
       s.reps = args.reps;
       s.workers = w;
       s.system = System::kPint;
+      s.trace_out = args.trace_out;
+      s.stats_json = args.stats_json;
       const auto r = bench::run_spec(s);
       const double total = double(r.stats.total_ns) * 1e-9;
       const double core = double(r.stats.core_ns) * 1e-9;

@@ -60,6 +60,8 @@ int main(int argc, char** argv) {
       s.scale = weak_scale(name, w, base_scale);
       s.reps = args.reps;
       s.workers = w;
+      s.trace_out = args.trace_out;
+      s.stats_json = args.stats_json;
       s.system = System::kBaseline;
       base_t.push_back(bench::run_spec(s).seconds);
       s.system = System::kPint;

@@ -1,6 +1,7 @@
 #include "bench/harness.hpp"
 
 #include <cstring>
+#include <memory>
 #include <thread>
 
 #include "cracer/cracer_detector.hpp"
@@ -9,40 +10,57 @@
 #include "runtime/scheduler.hpp"
 #include "stint/stint_detector.hpp"
 #include "support/assert.hpp"
+#include "support/telemetry.hpp"
 #include "support/timer.hpp"
 
 namespace pint::bench {
 
 namespace {
 
-RunResult run_once(const RunSpec& spec) {
-  kernels::KernelConfig kc;
-  kc.scale = spec.scale;
-  kc.seed = spec.seed;
-  auto k = kernels::make_kernel(spec.kernel, kc);
-  k->prepare();
+const char* system_tag(System s) {
+  switch (s) {
+    case System::kBaseline: return "base";
+    case System::kStint: return "stint";
+    case System::kPint: return "pint";
+    case System::kPintSeq: return "pintseq";
+    case System::kCracer: return "cracer";
+  }
+  return "unknown";
+}
 
-  RunResult r;
+/// "trace.json" + "mmul-pintseq-w1" -> "trace-mmul-pintseq-w1.json", so one
+/// --trace-out base path serves every cell of a figure's sweep.
+std::string tagged_path(const std::string& base, const std::string& tag) {
+  const auto slash = base.find_last_of('/');
+  const auto dot = base.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return base + "-" + tag;
+  }
+  return base.substr(0, dot) + "-" + tag + base.substr(dot);
+}
+
+std::string spec_tag(const RunSpec& spec) {
+  std::string t = spec.kernel + "-" + system_tag(spec.system) + "-w" +
+                  std::to_string(spec.workers);
+  if (spec.history_shards > 0) t += "-s" + std::to_string(spec.history_shards);
+  if (!spec.coalesce) t += "-raw";
+  if (spec.history == detect::HistoryKind::kGranuleMap) t += "-hash";
+  return t;
+}
+
+/// The unified dispatch seam: every detector system is constructed here and
+/// driven through detect::DetectorRunner afterwards.  Baseline (no detector)
+/// returns nullptr and is timed inline by run_once().
+std::unique_ptr<detect::DetectorRunner> make_runner(const RunSpec& spec) {
   switch (spec.system) {
-    case System::kBaseline: {
-      rt::Scheduler::Options so;
-      so.workers = spec.workers;
-      rt::Scheduler sched(so);
-      Timer t;
-      sched.run([&] { k->run(); });
-      r.seconds = t.elapsed_s();
-      break;
-    }
+    case System::kBaseline:
+      return nullptr;
     case System::kStint: {
       stint::StintDetector::Options o;
       o.coalesce = spec.coalesce;
+      o.history = spec.history;
       o.seed = spec.seed;
-      stint::StintDetector d(o);
-      d.run([&] { k->run(); });
-      r.seconds = double(d.stats().total_ns.load()) * 1e-9;
-      r.races = d.reporter().distinct_races();
-      r.stats = d.stats().snapshot();
-      break;
+      return std::make_unique<stint::StintDetector>(o);
     }
     case System::kPint:
     case System::kPintSeq: {
@@ -50,25 +68,102 @@ RunResult run_once(const RunSpec& spec) {
       o.core_workers = spec.workers;
       o.parallel_history = spec.system == System::kPint;
       o.coalesce = spec.coalesce;
+      o.history = spec.history;
+      o.history_shards = spec.history_shards;
       o.seed = spec.seed;
-      pintd::PintDetector d(o);
-      d.run([&] { k->run(); });
-      r.seconds = double(d.stats().total_ns.load()) * 1e-9;
-      r.races = d.reporter().distinct_races();
-      r.stats = d.stats().snapshot();
-      break;
+      return std::make_unique<pintd::PintDetector>(o);
     }
     case System::kCracer: {
       cracer::CracerDetector::Options o;
       o.workers = spec.workers;
       o.seed = spec.seed;
-      cracer::CracerDetector d(o);
-      d.run([&] { k->run(); });
-      r.seconds = double(d.stats().total_ns.load()) * 1e-9;
-      r.races = d.reporter().distinct_races();
-      r.stats = d.stats().snapshot();
-      break;
+      return std::make_unique<cracer::CracerDetector>(o);
     }
+  }
+  return nullptr;
+}
+
+/// Stats snapshot flattened for write_metrics_json()'s "stats" section.
+std::vector<std::pair<std::string, std::uint64_t>> stats_kv(
+    const detect::Stats::Snapshot& s, const detect::RunResult& rr) {
+  return {
+      {"raw_reads", s.raw_reads},
+      {"raw_writes", s.raw_writes},
+      {"read_intervals", s.read_intervals},
+      {"write_intervals", s.write_intervals},
+      {"strands", s.strands},
+      {"traces", s.traces},
+      {"steals", s.steals},
+      {"reach_queries", s.reach_queries},
+      {"stalled_pushes", s.stalled_pushes},
+      {"backoff_pauses", s.backoff_pauses},
+      {"dropped_strands", s.dropped_strands},
+      {"oom_events", s.oom_events},
+      {"watchdog_trips", s.watchdog_trips},
+      {"core_ns", s.core_ns},
+      {"writer_ns", s.writer_ns},
+      {"lreader_ns", s.lreader_ns},
+      {"rreader_ns", s.rreader_ns},
+      {"total_ns", s.total_ns},
+      {"run_status", std::uint64_t(rr.status)},
+      {"degraded_sequential_history",
+       std::uint64_t(rr.degraded_sequential_history)},
+      {"watchdog_tripped", std::uint64_t(rr.watchdog_tripped)},
+  };
+}
+
+BenchResult run_once(const RunSpec& spec, bool traced) {
+  kernels::KernelConfig kc;
+  kc.scale = spec.scale;
+  kc.seed = spec.seed;
+  auto k = kernels::make_kernel(spec.kernel, kc);
+  k->prepare();
+
+  BenchResult r;
+  auto runner = make_runner(spec);
+  if (runner == nullptr) {
+    rt::Scheduler::Options so;
+    so.workers = spec.workers;
+    rt::Scheduler sched(so);
+    Timer t;
+    sched.run([&] { k->run(); });
+    r.seconds = t.elapsed_s();
+  } else {
+    if (traced) {
+      telem::reset();
+      telem::set_enabled(true);
+    }
+    r.detect = runner->run([&] { k->run(); });
+    if (traced) {
+      telem::set_enabled(false);
+      const std::string tag = spec_tag(spec);
+      if (!spec.trace_out.empty()) {
+        const std::string p = tagged_path(spec.trace_out, tag);
+        if (telem::write_chrome_trace(p)) {
+          r.trace_path = p;
+        } else {
+          std::fprintf(stderr,
+                       "# warning: could not write trace %s (I/O error or "
+                       "PINT_TELEMETRY=OFF build)\n",
+                       p.c_str());
+        }
+      }
+      if (!spec.stats_json.empty()) {
+        const std::string p = tagged_path(spec.stats_json, tag);
+        if (telem::write_metrics_json(
+                p, stats_kv(runner->stats().snapshot(), r.detect))) {
+          r.stats_path = p;
+        } else {
+          std::fprintf(stderr,
+                       "# warning: could not write metrics %s (I/O error or "
+                       "PINT_TELEMETRY=OFF build)\n",
+                       p.c_str());
+        }
+      }
+    }
+    r.seconds = double(runner->stats().total_ns.load()) * 1e-9;
+    r.races = runner->reporter().distinct_races();
+    r.stats = runner->stats().snapshot();
   }
   r.verified = !spec.verify || k->verify();
   return r;
@@ -76,13 +171,22 @@ RunResult run_once(const RunSpec& spec) {
 
 }  // namespace
 
-RunResult run_spec(const RunSpec& spec) {
-  RunResult best;
+BenchResult run_spec(const RunSpec& spec) {
+  // Telemetry is captured on the LAST rep only and that rep is returned, so
+  // the exported trace describes exactly the run the figure prints.  Without
+  // telemetry the historical best-of-reps selection applies.
+  const bool tracing =
+      spec.system != System::kBaseline &&
+      (!spec.trace_out.empty() || !spec.stats_json.empty());
+  BenchResult best;
   for (int i = 0; i < spec.reps; ++i) {
-    RunResult r = run_once(spec);
+    const bool last = i + 1 == spec.reps;
+    BenchResult r = run_once(spec, tracing && last);
     PINT_CHECK_MSG(r.verified, "benchmark kernel verification failed");
     PINT_CHECK_MSG(r.races == 0, "unexpected race reported on race-free kernel");
-    if (i == 0 || r.seconds < best.seconds) best = r;
+    if (i == 0 || (tracing ? last : r.seconds < best.seconds)) {
+      best = std::move(r);
+    }
   }
   return best;
 }
@@ -95,6 +199,13 @@ Args parse_args(int argc, char** argv) {
       PINT_CHECK_MSG(i + 1 < argc, "missing flag value");
       return argv[++i];
     };
+    // Accepts both "--flag VALUE" and "--flag=VALUE" for the telemetry
+    // flags (the ci.sh lane and docs use the = form).
+    auto eq_value = [&](const char* flag) -> const char* {
+      const std::size_t n = std::strlen(flag);
+      if (std::strncmp(s, flag, n) == 0 && s[n] == '=') return s + n + 1;
+      return nullptr;
+    };
     if (std::strcmp(s, "--scale") == 0) {
       a.scale = std::atof(next());
     } else if (std::strcmp(s, "--workers") == 0) {
@@ -103,10 +214,18 @@ Args parse_args(int argc, char** argv) {
       a.reps = std::atoi(next());
     } else if (std::strcmp(s, "--kernel") == 0) {
       a.kernels.push_back(next());
+    } else if (std::strcmp(s, "--trace-out") == 0) {
+      a.trace_out = next();
+    } else if (const char* v = eq_value("--trace-out")) {
+      a.trace_out = v;
+    } else if (std::strcmp(s, "--stats-json") == 0) {
+      a.stats_json = next();
+    } else if (const char* v2 = eq_value("--stats-json")) {
+      a.stats_json = v2;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale S] [--workers N] [--reps R] "
-                   "[--kernel NAME]...\n",
+                   "[--kernel NAME]... [--trace-out FILE] [--stats-json FILE]\n",
                    argv[0]);
       std::exit(2);
     }

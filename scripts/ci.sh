@@ -7,10 +7,14 @@
 #   scripts/ci.sh asan       # -DPINT_SAN=address build + ctest -L asan
 #   scripts/ci.sh faults     # fault-injection suite (ctest -L faults) in
 #                            # the plain AND the TSan builds
+#   scripts/ci.sh telemetry  # telemetry suite + traced fig2 run with JSON
+#                            # validation, then a -DPINT_TELEMETRY=OFF build
+#                            # proving the zero-cost path still compiles
 #
-# Each lane builds into its own directory (build/, build-tsan/, build-asan/)
-# so switching lanes never churns another lane's objects.  A sanitizer
-# report exits the test non-zero, so a green lane means zero reports.
+# Each lane builds into its own directory (build/, build-tsan/, build-asan/,
+# build-notelem/) so switching lanes never churns another lane's objects.  A
+# sanitizer report exits the test non-zero, so a green lane means zero
+# reports.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,7 +22,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 LANES=("$@")
 if [ ${#LANES[@]} -eq 0 ]; then
-  LANES=(tier1 tsan asan faults)
+  LANES=(tier1 tsan asan faults telemetry)
 fi
 
 build_dir() {
@@ -41,6 +45,31 @@ run_lane() {
       (cd build && ctest --output-on-failure -L faults)
       build_dir build-tsan thread
       (cd build-tsan && ctest --output-on-failure -L faults)
+      return
+      ;;
+    telemetry)
+      echo "=== lane: telemetry (build dirs: build, build-notelem) ==="
+      build_dir build ""
+      (cd build && ctest --output-on-failure -L telemetry)
+      # End-to-end: a traced figure run must emit machine-readable JSON.
+      local tdir
+      tdir="$(mktemp -d)"
+      ./build/bench/fig2_breakdown --kernel mmul --scale 0.5 \
+        --trace-out="$tdir/trace.json" --stats-json="$tdir/stats.json"
+      local nfiles=0
+      for f in "$tdir"/*.json; do
+        python3 -m json.tool "$f" > /dev/null
+        nfiles=$((nfiles + 1))
+      done
+      echo "validated $nfiles telemetry JSON file(s)"
+      [ "$nfiles" -ge 2 ]  # at least one trace + one metrics file
+      rm -rf "$tdir"
+      # The zero-cost contract: everything still builds and the telemetry
+      # suite's OFF-branch assertions pass with the layer compiled out.
+      cmake -B build-notelem -S . -DCMAKE_BUILD_TYPE=Release \
+        -DPINT_TELEMETRY=OFF
+      cmake --build build-notelem -j "$JOBS"
+      (cd build-notelem && ctest --output-on-failure -L telemetry)
       return
       ;;
     *) echo "unknown lane: $lane" >&2; exit 2 ;;

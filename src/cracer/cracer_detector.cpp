@@ -181,7 +181,7 @@ void CracerDetector::on_after_sync(rt::Worker&, rt::TaskFrame& f,
 // Run
 // ---------------------------------------------------------------------------
 
-void CracerDetector::run(std::function<void()> fn) {
+detect::RunResult CracerDetector::run(std::function<void()> fn) {
   PINT_CHECK_MSG(!used_, "CracerDetector instances are single-use");
   used_ = true;
 
@@ -210,6 +210,7 @@ void CracerDetector::run(std::function<void()> fn) {
   }
   stats_.strands.store(strands_.load());
   stats_.steals.store(sched.total_steals());
+  return {};
 }
 
 }  // namespace pint::cracer

@@ -18,6 +18,7 @@
 #include "cracer/shadow.hpp"
 #include "detect/detector.hpp"
 #include "detect/report.hpp"
+#include "detect/run_result.hpp"
 #include "detect/stats.hpp"
 #include "reach/sp_order.hpp"
 #include "runtime/scheduler.hpp"
@@ -27,24 +28,25 @@
 namespace pint::cracer {
 
 class CracerDetector final : public detect::Detector,
+                             public detect::DetectorRunner,
                              public rt::SchedulerHooks {
  public:
-  struct Options {
+  /// The shared `coalesce`/`history` knobs are inert here: C-RACER checks at
+  /// every access, so there is nothing to coalesce and no interval store.
+  struct Options : detect::CommonOptions {
     int workers = 1;
-    std::size_t stack_bytes = std::size_t(1) << 18;
     std::size_t shadow_table_pow2 = std::size_t(1) << 16;
-    bool verbose_races = false;
-    std::uint64_t seed = 42;
   };
 
   CracerDetector() : CracerDetector(Options{}) {}
   explicit CracerDetector(const Options& opt);
 
   /// Executes fn() in parallel under per-access race detection. Single-use.
-  void run(std::function<void()> fn);
+  /// The synchronous design cannot degrade: the result is always kOk.
+  detect::RunResult run(std::function<void()> fn) override;
 
-  detect::RaceReporter& reporter() { return rep_; }
-  const detect::Stats& stats() const { return stats_; }
+  detect::RaceReporter& reporter() override { return rep_; }
+  const detect::Stats& stats() const override { return stats_; }
 
   // --- detect::Detector ---
   void on_access(rt::Worker& w, rt::TaskFrame& f, detect::addr_t lo,

@@ -25,10 +25,8 @@ inline treap::Accessor accessor_of(const Strand& s) {
   return {s.label, s.sid, s.tag};
 }
 
-/// Which backing store holds the access history. kTreap is the paper's
-/// design; kGranuleMap is the conventional per-location hashmap, kept as an
-/// ablation that isolates the data structure under the identical pipeline.
-enum class HistoryKind { kTreap, kGranuleMap };
+// HistoryKind (treap vs granule-map store) lives in detect/types.hpp so the
+// ablation knob is nameable without this header's treap dependency.
 
 /// Overlap callback shared by every checking path: report a race when a
 /// prior accessor of the overlapped segment is parallel to `me`.

@@ -4,10 +4,13 @@
 
 #include "detect/instrument.hpp"
 #include "support/assert.hpp"
+#include "support/timer.hpp"
 
 namespace pint::oracle {
 
-OracleDetector::OracleDetector(const Options& opt) : opt_(opt) {}
+OracleDetector::OracleDetector(const Options& opt) : opt_(opt) {
+  rep_.set_verbose(opt_.verbose_races);
+}
 
 OracleDetector::~OracleDetector() {
   for (StrandInfo* s : strands_) delete s;
@@ -34,7 +37,12 @@ void OracleDetector::record(StrandInfo* who, detect::addr_t lo,
       if (reach_.parallel(prev.who->label, who->label)) {
         auto a_sid = prev.who->sid, b_sid = who->sid;
         if (a_sid > b_sid) std::swap(a_sid, b_sid);
-        pairs_.insert({a_sid, b_sid});
+        if (pairs_.insert({a_sid, b_sid}).second) {
+          // Mirror the pair into the shared reporter so DetectorRunner
+          // callers see the oracle's verdict the same way as any detector's.
+          rep_.report(prev.who->sid, prev.write, who->sid, write, a * g,
+                      a * g + g - 1);
+        }
       }
     }
     if (!already) hist.push_back({who, write});
@@ -95,7 +103,7 @@ void OracleDetector::on_after_sync(rt::Worker&, rt::TaskFrame& f,
   blk.det_sync = nullptr;
 }
 
-void OracleDetector::run(std::function<void()> fn) {
+detect::RunResult OracleDetector::run(std::function<void()> fn) {
   PINT_CHECK_MSG(!used_, "OracleDetector instances are single-use");
   used_ = true;
   rt::Scheduler::Options so;
@@ -104,8 +112,13 @@ void OracleDetector::run(std::function<void()> fn) {
   so.stack_bytes = opt_.stack_bytes;
   rt::Scheduler sched(so);
   detect::set_active_detector(this);
+  Timer total;
   sched.run([&] { fn(); });
+  stats_.total_ns.store(total.elapsed_ns());
+  stats_.core_ns.store(total.elapsed_ns());
+  stats_.strands.store(next_sid_);
   detect::set_active_detector(nullptr);
+  return {};
 }
 
 }  // namespace pint::oracle

@@ -21,6 +21,8 @@
 
 #include "detect/detector.hpp"
 #include "detect/report.hpp"
+#include "detect/run_result.hpp"
+#include "detect/stats.hpp"
 #include "detect/strand.hpp"
 #include "reach/sp_order.hpp"
 #include "runtime/scheduler.hpp"
@@ -28,10 +30,14 @@
 namespace pint::oracle {
 
 class OracleDetector final : public detect::Detector,
+                             public detect::DetectorRunner,
                              public rt::SchedulerHooks {
  public:
-  struct Options {
-    std::size_t stack_bytes = std::size_t(1) << 18;
+  /// Of the shared knobs only `stack_bytes` matters to the oracle (it keeps
+  /// raw accesses, so there is nothing to coalesce and no history store to
+  /// swap); they exist so the oracle runs through the same seam as the real
+  /// detectors.
+  struct Options : detect::CommonOptions {
     /// Granule for exact tracking; tests use byte-accurate (1).
     std::size_t granule = 1;
   };
@@ -40,7 +46,11 @@ class OracleDetector final : public detect::Detector,
   explicit OracleDetector(const Options& opt);
   ~OracleDetector() override;
 
-  void run(std::function<void()> fn);
+  /// Serial exhaustive detection; cannot degrade, always returns kOk.
+  detect::RunResult run(std::function<void()> fn) override;
+
+  detect::RaceReporter& reporter() override { return rep_; }
+  const detect::Stats& stats() const override { return stats_; }
 
   /// All conflicting parallel pairs, as symmetric (min sid, max sid) pairs.
   const std::set<std::pair<std::uint64_t, std::uint64_t>>& race_pairs() const {
@@ -85,6 +95,8 @@ class OracleDetector final : public detect::Detector,
 
   Options opt_;
   reach::Engine reach_;
+  detect::RaceReporter rep_;
+  detect::Stats stats_;
   std::vector<StrandInfo*> strands_;
   std::uint64_t next_sid_ = 0;
   std::map<detect::addr_t, std::vector<Access>> bytes_;  // granule -> history

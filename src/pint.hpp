@@ -32,14 +32,18 @@
 //   stint::StintDetector             - sequential baseline (ALENEX'22)
 //   cracer::CracerDetector           - per-access shadow-memory baseline
 //   oracle::OracleDetector           - exact reference for tests
+//   detect::DetectorRunner           - the shared run/reporter/stats seam
 //   record_read/record_write         - instrumentation facade
 //   dmalloc/dfree                    - detector-aware heap allocation
+//   telem::*                         - span tracing + Chrome-trace export
 
 #include "cracer/cracer_detector.hpp"
 #include "detect/instrument.hpp"
+#include "detect/run_result.hpp"
 #include "kernels/kernels.hpp"
 #include "oracle/oracle_detector.hpp"
 #include "pint/pint_detector.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/scheduler.hpp"
 #include "stint/stint_detector.hpp"
+#include "support/telemetry.hpp"

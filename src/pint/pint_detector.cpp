@@ -11,6 +11,7 @@
 #include "support/error_sink.hpp"
 #include "support/failpoint.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry.hpp"
 #include "support/timer.hpp"
 
 namespace pint::pintd {
@@ -163,6 +164,7 @@ Strand* PintDetector::alloc_strand(CoreWS& ws) {
   s->reset(sid);
   s->owner_worker = ws.index;
   ws.strands++;
+  strands_outstanding_.fetch_add(1, std::memory_order_relaxed);
   return s;
 }
 
@@ -291,6 +293,7 @@ TraceChunk* PintDetector::chunk_fallback() {
 
 void PintDetector::recycle_strand(Strand* s) {
   CoreWS& ws = *ws_[s->owner_worker];
+  strands_outstanding_.fetch_sub(1, std::memory_order_relaxed);
   LockGuard<Spinlock> g(ws.pool_mu);
   s->pool_next = ws.free_list;
   ws.free_list = s;
@@ -299,6 +302,7 @@ void PintDetector::recycle_strand(Strand* s) {
 Trace* PintDetector::alloc_trace() {
   Trace* t = pool_take(tp_mu_, trace_pool_, all_traces_,
                        [](Trace*) { /* callers init() before use */ });
+  traces_outstanding_.fetch_add(1, std::memory_order_relaxed);
   return PINT_LIKELY(t != nullptr) ? t : trace_fallback();
 }
 
@@ -310,15 +314,18 @@ TraceChunk* PintDetector::alloc_chunk() {
         }
         ch->next.store(nullptr, std::memory_order_relaxed);
       });
+  chunks_outstanding_.fetch_add(1, std::memory_order_relaxed);
   return PINT_LIKELY(c != nullptr) ? c : chunk_fallback();
 }
 
 void PintDetector::recycle_trace(Trace* t) {
+  traces_outstanding_.fetch_sub(1, std::memory_order_relaxed);
   LockGuard<Spinlock> g(tp_mu_);
   trace_pool_.push_back(t);
 }
 
 void PintDetector::recycle_chunk(TraceChunk* c) {
+  chunks_outstanding_.fetch_sub(1, std::memory_order_relaxed);
   LockGuard<Spinlock> g(cp_mu_);
   chunk_pool_.push_back(c);
 }
@@ -343,6 +350,7 @@ void PintDetector::start_new_trace(CoreWS& ws) {
 }
 
 void PintDetector::seal_strand(CoreWS& ws, Strand* s) {
+  PINT_TCOUNT("core.seal");
   s->reads.finalize(opt_.coalesce);
   s->writes.finalize(opt_.coalesce);
   ws.read_intervals += s->reads.items().size();
@@ -518,6 +526,10 @@ bool PintDetector::on_task_retire(rt::Worker& w, rt::TaskFrame& f) {
 // ---------------------------------------------------------------------------
 
 void PintDetector::collect(Strand* s) {
+  // Covers the queue push (including any backoff on a full ring) plus the
+  // nested writer.strand span, so queue pressure is visible as the gap
+  // between the two on the writer track.
+  PINT_TSPAN("collect.strand");
   const std::int32_t nconsumers =
       shards_.empty() ? 3 : std::int32_t(shards_.size());
   s->consumers.store(nconsumers, std::memory_order_release);
@@ -529,6 +541,7 @@ void PintDetector::collect(Strand* s) {
     const bool forced_full = PINT_FAILPOINT("ahqueue.push.full");
     if (PINT_LIKELY(!forced_full) && queue_.try_push(s)) break;
     stats_.stalled_pushes.fetch_add(1, std::memory_order_relaxed);
+    PINT_TCOUNT("queue.full");
     if (seq_history_) {
       // Sequential mode buffers the entire run before the reader phases, so
       // the ring grows (no consumers are live yet) - up to the configured
@@ -552,6 +565,7 @@ void PintDetector::collect(Strand* s) {
     hb_backoff_.set_idle(false);
     hb_backoff_.beat();
     stats_.backoff_pauses.fetch_add(1, std::memory_order_relaxed);
+    PINT_TCOUNT("collect.backoff");
     if (PINT_UNLIKELY(cancel_.load(std::memory_order_relaxed))) {
       dropped_strands_.fetch_add(1, std::memory_order_relaxed);
       stats_.dropped_strands.fetch_add(1, std::memory_order_relaxed);
@@ -581,24 +595,31 @@ void PintDetector::collect(Strand* s) {
 
 void PintDetector::process_writer(Strand* s) {
   writer_watch_.start();
-  if (!shards_.empty()) {
-    // Sharded mode: the collector does no history work itself; shards own
-    // all three stores. Deferred resources are still released here (the
-    // queue-order argument of paper SIII-F is unchanged).
-  } else if (opt_.history == detect::HistoryKind::kTreap) {
-    detect::process_writer_treap(writer_treap_, *s, reach_, rep_, stats_);
-  } else {
-    detect::process_writer_treap(writer_map_, *s, reach_, rep_, stats_);
-  }
-  // Deferred frees become real here: any later reuse of this memory is by a
-  // strand collected after s, so each treap erases the range before seeing
-  // the new owner's accesses (paper §III-F).
-  for (const detect::HeapFree& hf : s->frees) std::free(hf.base);
-  if (s->retired_frame != nullptr) {
-    // Same argument for the fiber stack: reuse is only possible for strands
-    // that land later in the access-history order.
-    sched_->release_frame(s->retired_frame);
-    s->retired_frame = nullptr;
+  {
+    // Span nested just inside the watch so the watch's CLOCK_THREAD_CPUTIME
+    // reads (hundreds of ns each) stay out of the span; the exported
+    // writer.strand sum then tracks Stats::writer_ns (the Fig. 2 "writer"
+    // bar) to within the much cheaper span-record overhead.
+    PINT_TSPAN("writer.strand");
+    if (!shards_.empty()) {
+      // Sharded mode: the collector does no history work itself; shards own
+      // all three stores. Deferred resources are still released here (the
+      // queue-order argument of paper SIII-F is unchanged).
+    } else if (opt_.history == detect::HistoryKind::kTreap) {
+      detect::process_writer_treap(writer_treap_, *s, reach_, rep_, stats_);
+    } else {
+      detect::process_writer_treap(writer_map_, *s, reach_, rep_, stats_);
+    }
+    // Deferred frees become real here: any later reuse of this memory is by
+    // a strand collected after s, so each treap erases the range before
+    // seeing the new owner's accesses (paper §III-F).
+    for (const detect::HeapFree& hf : s->frees) std::free(hf.base);
+    if (s->retired_frame != nullptr) {
+      // Same argument for the fiber stack: reuse is only possible for
+      // strands that land later in the access-history order.
+      sched_->release_frame(s->retired_frame);
+      s->retired_frame = nullptr;
+    }
   }
   writer_watch_.stop();
 }
@@ -639,6 +660,10 @@ bool PintDetector::collect_from(CoreWS& ws, bool* drained) {
 }
 
 void PintDetector::writer_loop() {
+  // Runs on the dedicated writer thread in parallel-history mode and on the
+  // calling thread in the phased one-core mode; either way this is the
+  // "writer" track from here on.
+  telem::set_thread_role("writer");
   Backoff bo;
   for (;;) {
     if (PINT_UNLIKELY(cancel_.load(std::memory_order_relaxed))) break;
@@ -705,32 +730,44 @@ void PintDetector::consume_loop(ConsumerLane& lane, ProcessFn&& process) {
 }
 
 void PintDetector::reader_loop(ReaderSide side) {
-  treap::IntervalTreap& t =
-      side == ReaderSide::kLeftMost ? lreader_treap_ : rreader_treap_;
-  detect::GranuleMap& m =
-      side == ReaderSide::kLeftMost ? lreader_map_ : rreader_map_;
+  const bool left = side == ReaderSide::kLeftMost;
+  telem::set_thread_role(left ? "lreader" : "rreader");
+  const char* span_name = left ? "lreader.strand" : "rreader.strand";
+  treap::IntervalTreap& t = left ? lreader_treap_ : rreader_treap_;
+  detect::GranuleMap& m = left ? lreader_map_ : rreader_map_;
   const bool use_treap = opt_.history == detect::HistoryKind::kTreap;
-  StopwatchAccum& watch =
-      side == ReaderSide::kLeftMost ? lreader_watch_ : rreader_watch_;
-  ConsumerLane& lane = *lanes_[side == ReaderSide::kLeftMost ? 0 : 1];
+  StopwatchAccum& watch = left ? lreader_watch_ : rreader_watch_;
+  ConsumerLane& lane = *lanes_[left ? 0 : 1];
   consume_loop(lane, [&](Strand* s) {
     watch.start();
-    if (use_treap) {
-      detect::process_reader_treap(t, *s, reach_, rep_, stats_, side);
-    } else {
-      detect::process_reader_treap(m, *s, reach_, rep_, stats_, side);
+    {
+      // Nested inside the watch (see process_writer): span sum ~= *_ns.
+      telem::ScopedSpan span(span_name);
+      if (use_treap) {
+        detect::process_reader_treap(t, *s, reach_, rep_, stats_, side);
+      } else {
+        detect::process_reader_treap(m, *s, reach_, rep_, stats_, side);
+      }
     }
     watch.stop();
   });
 }
 
 void PintDetector::shard_loop(int shard) {
+  if (telem::enabled()) {
+    char role[16];
+    std::snprintf(role, sizeof(role), "shard%d", shard);
+    telem::set_thread_role(role);
+  }
   HistoryShard& hs = *shards_[std::size_t(shard)];
   const int n = int(shards_.size());
   ConsumerLane& lane = *lanes_[std::size_t(shard)];
   consume_loop(lane, [&](Strand* s) {
     hs.watch.start();
-    hs.process(*s, shard, n, reach_, rep_, stats_);
+    {
+      PINT_TSPAN("shard.strand");
+      hs.process(*s, shard, n, reach_, rep_, stats_);
+    }
     hs.watch.stop();
   });
 }
@@ -900,6 +937,39 @@ RunResult PintDetector::run(std::function<void()> fn) {
                     int(shards_.size()));
   }
 
+  // Background telemetry sampler: turns the monitoring-safe atomics (the
+  // same ones dump_progress reads) into a queue-pressure time series.  A
+  // no-op unless telemetry is armed.
+  telem::Sampler sampler;
+  sampler.start([this](telem::Sampler::Sink& sink) {
+    const std::uint64_t head = queue_.head();
+    const std::uint64_t reclaimed = queue_.reclaimed();
+    sink.gauge("queue.depth", head - reclaimed);
+    sink.gauge("queue.capacity", queue_.capacity());
+    sink.gauge("queue.pushed", pushed_.load(std::memory_order_relaxed));
+    for (const auto& lane : lanes_) {
+      char g[32];
+      std::snprintf(g, sizeof(g), "lag.%s", lane->name);
+      const std::uint64_t cur = lane->cursor.load(std::memory_order_relaxed);
+      sink.gauge(g, head >= cur ? head - cur : 0);
+      std::snprintf(g, sizeof(g), "idle.%s", lane->name);
+      sink.gauge(g, lane->hb.idle() ? 1 : 0);
+    }
+    sink.gauge("idle.writer", hb_writer_.idle() ? 1 : 0);
+    sink.gauge("beats.writer", hb_writer_.beats());
+    sink.gauge("pool.strands", std::uint64_t(std::max<std::int64_t>(
+                                   0, strands_outstanding_.load(
+                                          std::memory_order_relaxed))));
+    sink.gauge("pool.traces", std::uint64_t(std::max<std::int64_t>(
+                                  0, traces_outstanding_.load(
+                                         std::memory_order_relaxed))));
+    sink.gauge("pool.chunks", std::uint64_t(std::max<std::int64_t>(
+                                  0, chunks_outstanding_.load(
+                                         std::memory_order_relaxed))));
+    sink.gauge("dropped.strands",
+               dropped_strands_.load(std::memory_order_relaxed));
+  });
+
   Watchdog::Options wo;
   wo.deadline_ms = opt_.watchdog_ms;
   Watchdog wd(wo);
@@ -934,6 +1004,7 @@ RunResult PintDetector::run(std::function<void()> fn) {
   }
 
   wd.disarm();
+  sampler.stop();
 
   stats_.total_ns.store(total.elapsed_ns());
   stats_.writer_ns.store(writer_watch_.total_ns());

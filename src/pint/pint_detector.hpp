@@ -30,6 +30,7 @@
 #include "detect/detector.hpp"
 #include "detect/history.hpp"
 #include "detect/report.hpp"
+#include "detect/run_result.hpp"
 #include "detect/stats.hpp"
 #include "detect/strand.hpp"
 #include "pint/ah_queue.hpp"
@@ -43,55 +44,21 @@
 
 namespace pint::pintd {
 
-/// Terminal status of one detection run.  Anything other than kOk means the
-/// pipeline degraded; the reporter/stats still describe whatever detection
-/// work completed (see DESIGN.md "Failure model & degradation").
-enum class RunStatus : std::uint8_t {
-  kOk = 0,
-  /// An allocation failed (strand/trace/chunk pool, or the sequential-mode
-  /// ring cap was hit).  The run completed by draining the pipeline and/or
-  /// shedding strands; detection results cover the surviving strands.
-  kOutOfMemory = 1,
-  /// The watchdog found a busy pipeline stage silent past its deadline,
-  /// dumped a progress snapshot to the error sink, and cancelled the
-  /// history pipeline so run() could return instead of hanging.
-  kStalled = 2,
-};
+// The run-status/result types were born here and are now the repo-wide
+// detector contract; the aliases keep existing pintd:: spellings compiling.
+using RunStatus = detect::RunStatus;
+using RunResult = detect::RunResult;
 
-struct RunResult {
-  RunStatus status = RunStatus::kOk;
-  /// History threads could not be spawned; the run fell back to the
-  /// paper's sequential one-core history mode (status stays kOk - the
-  /// detection itself is complete and exact).
-  bool degraded_sequential_history = false;
-  bool watchdog_tripped = false;
-  /// Strands shed at the sequential-mode ring cap (kOutOfMemory only).
-  std::uint64_t dropped_strands = 0;
-
-  bool ok() const { return status == RunStatus::kOk; }
-  const char* status_name() const {
-    switch (status) {
-      case RunStatus::kOk: return "ok";
-      case RunStatus::kOutOfMemory: return "out-of-memory";
-      case RunStatus::kStalled: return "stalled";
-    }
-    return "?";
-  }
-};
-
-class PintDetector final : public detect::Detector, public rt::SchedulerHooks {
+class PintDetector final : public detect::Detector,
+                           public detect::DetectorRunner,
+                           public rt::SchedulerHooks {
  public:
-  struct Options {
+  struct Options : detect::CommonOptions {
     /// Workers executing the program (the paper's "P - 3 core workers").
     int core_workers = 1;
     /// True: three concurrent treap workers (the real PINT). False: phased
     /// one-core execution used for the overhead measurements.
     bool parallel_history = true;
-    /// Runtime coalescing of accesses into intervals (ablation knob).
-    bool coalesce = true;
-    /// Access-history store: the paper's interval treap, or a per-granule
-    /// hashmap under the identical pipeline (ablation knob).
-    detect::HistoryKind history = detect::HistoryKind::kTreap;
     /// 0 = the paper's three role-workers (writer/lreader/rreader).
     /// N > 0 = the §VI extension: N address-sharded history workers, each
     /// owning all three stores for its stripes (requires kTreap).
@@ -111,9 +78,6 @@ class PintDetector final : public detect::Detector, public rt::SchedulerHooks {
     /// Test-only: record the label of every collected strand so tests can
     /// verify the collection order is DAG-conforming (Lemmas 1-4).
     bool record_collection_order = false;
-    std::size_t stack_bytes = std::size_t(1) << 18;
-    bool verbose_races = false;
-    std::uint64_t seed = 42;
   };
 
   explicit PintDetector(const Options& opt);
@@ -123,10 +87,10 @@ class PintDetector final : public detect::Detector, public rt::SchedulerHooks {
   /// Always returns (modulo unsurvivable dead-ends, which abort through the
   /// shared error sink); the result says whether detection is complete or
   /// the pipeline degraded.  Existing callers may ignore the result.
-  RunResult run(std::function<void()> fn);
+  RunResult run(std::function<void()> fn) override;
 
-  detect::RaceReporter& reporter() { return rep_; }
-  const detect::Stats& stats() const { return stats_; }
+  detect::RaceReporter& reporter() override { return rep_; }
+  const detect::Stats& stats() const override { return stats_; }
   reach::Engine& reachability() { return reach_; }
   /// Valid after run() when Options::record_collection_order was set.
   const std::vector<reach::Label>& collection_order() const {
@@ -278,6 +242,12 @@ class PintDetector final : public detect::Detector, public rt::SchedulerHooks {
   Spinlock cp_mu_;
   std::vector<TraceChunk*> chunk_pool_;
   std::vector<std::unique_ptr<TraceChunk>> all_chunks_;
+  // Pool-occupancy gauges for the telemetry sampler: the pool vectors and
+  // per-worker free lists are lock-protected, so the sampler thread reads
+  // these relaxed mirrors instead (allocated-and-in-use object counts).
+  std::atomic<std::int64_t> traces_outstanding_{0};
+  std::atomic<std::int64_t> chunks_outstanding_{0};
+  std::atomic<std::int64_t> strands_outstanding_{0};
 
   StopwatchAccum writer_watch_, lreader_watch_, rreader_watch_;
   std::vector<reach::Label> collection_log_;  // writer-thread only

@@ -1,10 +1,24 @@
 #include "runtime/scheduler.hpp"
 
+#include <cstdio>
+
+#include "support/telemetry.hpp"
+
 namespace pint::rt {
 
 namespace {
 thread_local Worker* t_worker = nullptr;
+
+// Core workers are "core<i>" tracks in the exported trace.  The calling
+// thread (worker 0) may later be renamed by a detector running its phased
+// history on it - role changes split the track, they don't fight.
+void set_core_role(int id) {
+  if (!telem::enabled()) return;
+  char role[16];
+  std::snprintf(role, sizeof(role), "core%d", id);
+  telem::set_thread_role(role);
 }
+}  // namespace
 
 // noinline so the TLS address is recomputed on every call: user code can
 // migrate between OS threads at spawn/sync points, and a cached TLS slot
@@ -79,8 +93,9 @@ void Scheduler::run_frame(TaskFrame* root) {
   threads.reserve(workers_.size() - 1);
   for (std::size_t i = 1; i < workers_.size(); ++i) {
     Worker* w = workers_[i].get();
-    threads.emplace_back([w] {
+    threads.emplace_back([w, i] {
       t_worker = w;
+      set_core_role(int(i));
       san::adopt_current_thread_stack(w->loop_ctx_.san);
       w->loop();
       t_worker = nullptr;
@@ -100,6 +115,7 @@ void Scheduler::run_frame(TaskFrame* root) {
     san::adopt_current_thread_stack(w0->loop_ctx_.san);
   }
   t_worker = w0;
+  set_core_role(0);
   w0->resume_next_ = root;
   w0->loop();
   t_worker = saved;
@@ -157,6 +173,7 @@ void Worker::loop() {
       TaskFrame* pf = sched_->workers_[victim]->deque_.steal();
       if (pf != nullptr) {
         ++steals_;
+        PINT_TCOUNT("core.steal");
         // The frame is suspended at a spawn; its innermost scope is the one
         // this continuation belongs to.
         pf->scope->steal_happened.store(true, std::memory_order_release);

@@ -4,6 +4,7 @@
 
 #include "detect/instrument.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry.hpp"
 
 namespace pint::stint {
 
@@ -47,20 +48,30 @@ void StintDetector::seal_strand(Strand* s) {
 
 void StintDetector::process_strand(Strand* s) {
   seal_strand(s);
+  // STINT's history runs inline on the execution thread; the two spans make
+  // its writer/reader phases comparable with PINT's asynchronous tracks.
   writer_watch_.start();
-  if (opt_.history == detect::HistoryKind::kTreap) {
-    detect::process_writer_treap(writer_treap_, *s, reach_, rep_, stats_);
-  } else {
-    detect::process_writer_treap(writer_map_, *s, reach_, rep_, stats_);
+  {
+    // Span nested inside the watch so the CPU-clock reads stay out of it
+    // (same reasoning as PintDetector::process_writer).
+    PINT_TSPAN("stint.writer");
+    if (opt_.history == detect::HistoryKind::kTreap) {
+      detect::process_writer_treap(writer_treap_, *s, reach_, rep_, stats_);
+    } else {
+      detect::process_writer_treap(writer_map_, *s, reach_, rep_, stats_);
+    }
   }
   writer_watch_.stop();
   reader_watch_.start();
-  if (opt_.history == detect::HistoryKind::kTreap) {
-    detect::process_reader_treap(reader_treap_, *s, reach_, rep_, stats_,
-                                 detect::ReaderSide::kSerial);
-  } else {
-    detect::process_reader_treap(reader_map_, *s, reach_, rep_, stats_,
-                                 detect::ReaderSide::kSerial);
+  {
+    PINT_TSPAN("stint.reader");
+    if (opt_.history == detect::HistoryKind::kTreap) {
+      detect::process_reader_treap(reader_treap_, *s, reach_, rep_, stats_,
+                                   detect::ReaderSide::kSerial);
+    } else {
+      detect::process_reader_treap(reader_map_, *s, reach_, rep_, stats_,
+                                   detect::ReaderSide::kSerial);
+    }
   }
   reader_watch_.stop();
   recycle_strand(s);
@@ -170,7 +181,7 @@ void StintDetector::on_after_sync(rt::Worker&, rt::TaskFrame& f,
 
 // --- run ----------------------------------------------------------------
 
-void StintDetector::run(std::function<void()> fn) {
+detect::RunResult StintDetector::run(std::function<void()> fn) {
   PINT_CHECK_MSG(!used_, "StintDetector instances are single-use");
   used_ = true;
 
@@ -196,6 +207,7 @@ void StintDetector::run(std::function<void()> fn) {
   stats_.lreader_ns.store(reader_watch_.total_ns());
   stats_.core_ns.store(total.elapsed_ns() - writer_watch_.total_ns() -
                        reader_watch_.total_ns());
+  return {};
 }
 
 }  // namespace pint::stint

@@ -21,6 +21,7 @@
 #include "detect/detector.hpp"
 #include "detect/history.hpp"
 #include "detect/report.hpp"
+#include "detect/run_result.hpp"
 #include "detect/stats.hpp"
 #include "detect/strand.hpp"
 #include "reach/sp_order.hpp"
@@ -30,26 +31,24 @@
 
 namespace pint::stint {
 
-class StintDetector final : public detect::Detector, public rt::SchedulerHooks {
+class StintDetector final : public detect::Detector,
+                            public detect::DetectorRunner,
+                            public rt::SchedulerHooks {
  public:
-  struct Options {
-    bool coalesce = true;
-    /// Interval treap (the STINT design) or per-granule hashmap (ablation).
-    detect::HistoryKind history = detect::HistoryKind::kTreap;
-    std::size_t stack_bytes = std::size_t(1) << 18;
-    bool verbose_races = false;
-    std::uint64_t seed = 42;
-  };
+  /// All knobs are the shared ones (`history` selects the STINT treap vs the
+  /// per-granule hashmap ablation).
+  struct Options : detect::CommonOptions {};
 
   StintDetector() : StintDetector(Options{}) {}
   explicit StintDetector(const Options& opt);
   ~StintDetector() override;
 
-  /// Executes fn() sequentially under race detection. Single-use.
-  void run(std::function<void()> fn);
+  /// Executes fn() sequentially under race detection. Single-use.  The
+  /// synchronous design cannot degrade: the result is always kOk.
+  detect::RunResult run(std::function<void()> fn) override;
 
-  detect::RaceReporter& reporter() { return rep_; }
-  const detect::Stats& stats() const { return stats_; }
+  detect::RaceReporter& reporter() override { return rep_; }
+  const detect::Stats& stats() const override { return stats_; }
 
   // --- detect::Detector ---
   void on_access(rt::Worker& w, rt::TaskFrame& f, detect::addr_t lo,
