@@ -91,6 +91,11 @@ std::vector<std::pair<std::string, std::uint64_t>> stats_kv(
       {"raw_writes", s.raw_writes},
       {"read_intervals", s.read_intervals},
       {"write_intervals", s.write_intervals},
+      {"fastpath_accesses", s.fastpath_accesses},
+      {"fastpath_hits", s.fastpath_hits},
+      {"slowpath_accesses", s.slowpath_accesses},
+      {"memo_queries", s.memo_queries},
+      {"memo_hits", s.memo_hits},
       {"strands", s.strands},
       {"traces", s.traces},
       {"steals", s.steals},

@@ -10,6 +10,10 @@
 #   scripts/ci.sh telemetry  # telemetry suite + traced fig2 run with JSON
 #                            # validation, then a -DPINT_TELEMETRY=OFF build
 #                            # proving the zero-cost path still compiles
+#   scripts/ci.sh perf       # perf smoke: micro_access (fails below the 3x
+#                            # fast-path bar or with a dead memo cache),
+#                            # emits BENCH_access.json, plus a tiny
+#                            # fig1_overview run
 #
 # Each lane builds into its own directory (build/, build-tsan/, build-asan/,
 # build-notelem/) so switching lanes never churns another lane's objects.  A
@@ -22,7 +26,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 LANES=("$@")
 if [ ${#LANES[@]} -eq 0 ]; then
-  LANES=(tier1 tsan asan faults telemetry)
+  LANES=(tier1 tsan asan faults telemetry perf)
 fi
 
 build_dir() {
@@ -70,6 +74,22 @@ run_lane() {
         -DPINT_TELEMETRY=OFF
       cmake --build build-notelem -j "$JOBS"
       (cd build-notelem && ctest --output-on-failure -L telemetry)
+      return
+      ;;
+    perf)
+      echo "=== lane: perf (build dir: build) ==="
+      build_dir build ""
+      # micro_access enforces the access-path acceptance bars itself: exits
+      # non-zero if the cursor fast path is under 3x the slow route or no
+      # kernel shows memo-cache hits.  The JSON it emits is the committed
+      # BENCH_access.json (ns/access, hit rates, geo-mean overhead).
+      ./build/bench/micro_access --json BENCH_access.json
+      python3 -m json.tool BENCH_access.json > /dev/null
+      echo "validated BENCH_access.json"
+      # Smoke the end-to-end overhead figure at a tiny scale: catches a
+      # detector that silently stopped taking the fast path in the full
+      # harness (the run aborts on verification failure or false races).
+      ./build/bench/fig1_overview --kernel mmul --scale 0.25 --reps 1
       return
       ;;
     *) echo "unknown lane: $lane" >&2; exit 2 ;;

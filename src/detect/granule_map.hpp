@@ -28,9 +28,14 @@ class GranuleMap {
  public:
   static constexpr std::uint64_t kGranuleBytes = 8;
 
+  /// Minimum slot count: capacities below it (notably 0, whose mask would
+  /// underflow to all-ones over an empty table) are rounded up to it.
+  static constexpr std::size_t kMinCapacity = 16;
+
   explicit GranuleMap(std::size_t capacity_pow2 = 1 << 12)
-      : mask_(capacity_pow2 - 1), slots_(capacity_pow2) {
-    PINT_CHECK_MSG((capacity_pow2 & mask_) == 0, "capacity must be a power of 2");
+      : mask_(normalized(capacity_pow2) - 1), slots_(mask_ + 1) {
+    const std::size_t cap = mask_ + 1;
+    PINT_CHECK_MSG((cap & (cap - 1)) == 0, "capacity must be a power of 2");
   }
 
   /// cb(granule_lo, granule_hi, accessor) for every granule of [lo, hi]
@@ -98,6 +103,10 @@ class GranuleMap {
   std::size_t capacity() const { return mask_ + 1; }
 
  private:
+  static std::size_t normalized(std::size_t capacity_pow2) {
+    return capacity_pow2 < kMinCapacity ? kMinCapacity : capacity_pow2;
+  }
+
   struct Slot {
     std::uint64_t key = 0;  // granule + 1; 0 = never used
     bool occupied = false;  // false with key != 0 = tombstone

@@ -30,15 +30,17 @@ inline treap::Accessor accessor_of(const Strand& s) {
 
 /// Overlap callback shared by every checking path: report a race when a
 /// prior accessor of the overlapped segment is parallel to `me`.
-/// `me` is captured by value; engine/reporter/stats by reference.
+/// `me` is captured by value; engine/reporter/stats by reference.  `memo`
+/// (optional) is the calling history worker's private precedes() cache.
 inline auto make_conflict_cb(treap::Accessor me, bool prev_write,
                              bool cur_write, reach::Engine& reach,
-                             RaceReporter& rep, Stats& stats) {
-  return [me, prev_write, cur_write, &reach, &rep, &stats](
+                             RaceReporter& rep, Stats& stats,
+                             reach::MemoCache* memo = nullptr) {
+  return [me, prev_write, cur_write, &reach, &rep, &stats, memo](
              addr_t lo, addr_t hi, const treap::Accessor& prev) {
     if (prev.sid == me.sid) return;  // a strand cannot race with itself
     stats.reach_queries.fetch_add(1, std::memory_order_relaxed);
-    if (reach.parallel(prev.label, me.label)) {
+    if (reach.parallel(prev.label, me.label, memo)) {
       rep.report(prev.sid, prev_write, me.sid, cur_write, lo, hi, prev.tag,
                  me.tag);
     }
@@ -48,20 +50,24 @@ inline auto make_conflict_cb(treap::Accessor me, bool prev_write,
 /// Reader-retention rule shared by reader inserts: the new reader wins when
 /// it is in series after the stored one, or is the side's extreme among
 /// parallel readers (stored readers are never DAG-successors of `me` thanks
-/// to DAG-conforming processing).
+/// to DAG-conforming processing).  One Relation answers series-ness AND the
+/// left/right tiebreak (left_of(me, prev) is the negated English bit), so
+/// the memo pays off even on the resolver path.
 inline auto make_reader_resolver(treap::Accessor me, reach::Engine& reach,
-                                 Stats& stats, ReaderSide side) {
-  return [me, &reach, &stats, side](const treap::Accessor& prev,
-                                    const treap::Accessor& cur) {
+                                 Stats& stats, ReaderSide side,
+                                 reach::MemoCache* memo = nullptr) {
+  return [me, &reach, &stats, side, memo](const treap::Accessor& prev,
+                                          const treap::Accessor& cur) {
     (void)cur;
     if (prev.sid == me.sid) return false;
     stats.reach_queries.fetch_add(1, std::memory_order_relaxed);
-    if (reach.precedes(prev.label, me.label)) return true;
+    const reach::Relation r = reach.relation(prev.label, me.label, memo);
+    if (r.eng && r.heb) return true;  // prev ~> me
     switch (side) {
       case ReaderSide::kLeftMost:
-        return reach.left_of(me.label, prev.label);
+        return !r.eng;  // left_of(me, prev): me first in English order
       case ReaderSide::kRightMost:
-        return reach.left_of(prev.label, me.label);
+        return r.eng;  // left_of(prev, me)
       case ReaderSide::kSerial:
         return false;  // Feng-Leiserson rule: keep the old parallel reader
     }
@@ -76,14 +82,16 @@ inline auto make_reader_resolver(treap::Accessor me, reach::Engine& reach,
 template <class History>
 inline void process_writer_treap(History& t, const Strand& s,
                                  reach::Engine& reach, RaceReporter& rep,
-                                 Stats& stats) {
+                                 Stats& stats,
+                                 reach::MemoCache* memo = nullptr) {
   const treap::Accessor me = accessor_of(s);
   for (const Interval& r : s.reads.items()) {
-    t.query(r.lo, r.hi, make_conflict_cb(me, true, false, reach, rep, stats));
+    t.query(r.lo, r.hi,
+            make_conflict_cb(me, true, false, reach, rep, stats, memo));
   }
   for (const Interval& w : s.writes.items()) {
     t.insert_writer(w.lo, w.hi, me,
-                    make_conflict_cb(me, true, true, reach, rep, stats));
+                    make_conflict_cb(me, true, true, reach, rep, stats, memo));
   }
   for (const Interval& c : s.clears) t.erase_range(c.lo, c.hi);
   for (const HeapFree& f : s.frees) t.erase_range(f.lo, f.hi);
@@ -94,12 +102,14 @@ inline void process_writer_treap(History& t, const Strand& s,
 template <class History>
 inline void process_reader_treap(History& t, const Strand& s,
                                  reach::Engine& reach, RaceReporter& rep,
-                                 Stats& stats, ReaderSide side) {
+                                 Stats& stats, ReaderSide side,
+                                 reach::MemoCache* memo = nullptr) {
   const treap::Accessor me = accessor_of(s);
   for (const Interval& w : s.writes.items()) {
-    t.query(w.lo, w.hi, make_conflict_cb(me, false, true, reach, rep, stats));
+    t.query(w.lo, w.hi,
+            make_conflict_cb(me, false, true, reach, rep, stats, memo));
   }
-  const auto resolve = make_reader_resolver(me, reach, stats, side);
+  const auto resolve = make_reader_resolver(me, reach, stats, side, memo);
   for (const Interval& r : s.reads.items()) {
     t.insert_reader(r.lo, r.hi, me, resolve);
   }

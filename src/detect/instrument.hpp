@@ -10,9 +10,20 @@
 // "baseline" rows of the evaluation tables are measured (same binary, same
 // call sites, detection off).
 //
-// All functions are defined out-of-line (instrument.cpp): they read
-// thread-local state and must never be inlined across a spawn/sync where
-// the calling code can migrate between OS threads.
+// Fast path (DESIGN.md §9): while a strand executes, the detector installs a
+// thread-local AccessCursor pointing straight at the strand's read/write
+// AccessBuffers.  record_read/record_write then coalesce inline against a
+// last-interval cache - no detector load, no worker lookup, no virtual call.
+// The cursor is installed at every strand begin and invalidated (flushed)
+// at every strand end, so between install and invalidate the owning OS
+// thread never changes (strand boundaries are exactly the scheduler's
+// migration points).
+//
+// All recording functions are defined out-of-line (instrument.cpp): they
+// read thread-local state and must never be inlined across a spawn/sync
+// where the calling code can migrate between OS threads.  The inline
+// wrappers below only test constants and one global flag - nothing
+// thread-local - before making the (noinline) call.
 
 #include <atomic>
 #include <cstddef>
@@ -25,16 +36,30 @@ namespace detail {
 /// configuration (detection off) pays only a predictable test-and-branch per
 /// call site, mirroring an uninstrumented build.
 extern std::atomic<bool> g_instrumentation_on;
+/// Dispatch: takes the AccessCursor fast path when one is installed on this
+/// thread, else falls through to the classic detector route.  noinline so
+/// the thread-local cursor is re-derived on every call (fiber migration).
+/// The per-lane entry points fold the read/write lane into the cursor's
+/// TLS displacement at compile time (the wrappers below always know the
+/// lane); the bool form dispatches for callers that don't.
+void record_access_read(const void* p, std::size_t bytes);
+void record_access_write(const void* p, std::size_t bytes);
+void record_access(const void* p, std::size_t bytes, bool write);
+/// The classic route (atomic detector load + worker lookup + virtual
+/// on_access).  Kept callable directly so benchmarks can measure the fast
+/// path against it; `set_access_fast_path(false)` forces every access here.
 void record_access_slow(const void* p, std::size_t bytes, bool write);
 }  // namespace detail
 
 inline void record_read(const void* p, std::size_t bytes) {
+  if (bytes == 0) return;  // zero-length: never crosses the call boundary
   if (!detail::g_instrumentation_on.load(std::memory_order_relaxed)) return;
-  detail::record_access_slow(p, bytes, false);
+  detail::record_access_read(p, bytes);
 }
 inline void record_write(const void* p, std::size_t bytes) {
+  if (bytes == 0) return;  // zero-length: never crosses the call boundary
   if (!detail::g_instrumentation_on.load(std::memory_order_relaxed)) return;
-  detail::record_access_slow(p, bytes, true);
+  detail::record_access_write(p, bytes);
 }
 
 /// Typed helpers for single loads/stores.
@@ -55,5 +80,46 @@ inline void istore(T& ref, const T& v) {
 /// through allocator reuse (paper §III-F).
 void* dmalloc(std::size_t bytes);
 void dfree(void* p);
+
+namespace detect {
+
+class AccessBuffer;
+
+/// What cursor_invalidate() hands back to the detector: the raw-access
+/// counts recorded through the cursor since install, and how many of them
+/// were absorbed by the cursor's inline extension caches (never touched the
+/// AccessBuffer at all).
+struct CursorFlush {
+  std::uint64_t raw_reads = 0;
+  std::uint64_t raw_writes = 0;
+  std::uint64_t hits = 0;
+};
+
+/// Installs this thread's AccessCursor over the given strand buffers.  Any
+/// previously installed cursor is flushed first (its counts are dropped -
+/// detectors always invalidate before installing, so that path only guards
+/// against misuse).  No-op while the fast path is globally disabled.
+void cursor_install(AccessBuffer* reads, AccessBuffer* writes, bool coalesce);
+
+/// Flushes the cursor's cached intervals into the strand buffers, detaches
+/// it, and returns the counters accumulated since install.  Must run on the
+/// thread that owns the strand (detectors call it from the scheduler hooks
+/// that end the strand, which always run there).  Safe to call with no
+/// cursor installed (returns zeros).
+CursorFlush cursor_invalidate();
+
+/// Hard reset: drop the cursor without flushing.  Only for thread entry /
+/// defensive use where no strand can be current.
+void cursor_reset();
+
+bool cursor_installed();
+
+/// Global knob (tests / benchmarks): false routes every access through
+/// record_access_slow, exactly the pre-cursor behavior.  Default true.
+/// Flip only at quiescence (no detection run in flight).
+void set_access_fast_path(bool on);
+bool access_fast_path();
+
+}  // namespace detect
 
 }  // namespace pint

@@ -16,6 +16,18 @@ struct Stats {
   std::atomic<std::uint64_t> read_intervals{0};
   std::atomic<std::uint64_t> write_intervals{0};
 
+  // Hot-path effectiveness (DESIGN.md §9).  fastpath_accesses counts raw
+  // accesses recorded through the thread-local AccessCursor; fastpath_hits
+  // the subset absorbed by its inline extension caches (no AccessBuffer
+  // touch at all); slowpath_accesses those that took the classic
+  // detector-load + virtual-dispatch route.  memo_queries/memo_hits are the
+  // history workers' precedes() memo-cache totals.
+  std::atomic<std::uint64_t> fastpath_accesses{0};
+  std::atomic<std::uint64_t> fastpath_hits{0};
+  std::atomic<std::uint64_t> slowpath_accesses{0};
+  std::atomic<std::uint64_t> memo_queries{0};
+  std::atomic<std::uint64_t> memo_hits{0};
+
   // Computation shape.
   std::atomic<std::uint64_t> strands{0};
   std::atomic<std::uint64_t> traces{0};
@@ -51,6 +63,8 @@ struct Stats {
 
   void clear() {
     raw_reads = raw_writes = read_intervals = write_intervals = 0;
+    fastpath_accesses = fastpath_hits = slowpath_accesses = 0;
+    memo_queries = memo_hits = 0;
     strands = traces = steals = reach_queries = 0;
     stalled_pushes = backoff_pauses = dropped_strands = 0;
     oom_events = watchdog_trips = 0;
@@ -60,6 +74,8 @@ struct Stats {
   /// Plain-value snapshot for printing.
   struct Snapshot {
     std::uint64_t raw_reads, raw_writes, read_intervals, write_intervals;
+    std::uint64_t fastpath_accesses, fastpath_hits, slowpath_accesses;
+    std::uint64_t memo_queries, memo_hits;
     std::uint64_t strands, traces, steals, reach_queries;
     std::uint64_t stalled_pushes, backoff_pauses, dropped_strands;
     std::uint64_t oom_events, watchdog_trips;
@@ -69,17 +85,29 @@ struct Stats {
       const auto iv = read_intervals + write_intervals;
       return iv == 0 ? 0.0 : double(raw) / double(iv);
     }
+    double fastpath_hit_rate() const {
+      return fastpath_accesses == 0
+                 ? 0.0
+                 : double(fastpath_hits) / double(fastpath_accesses);
+    }
+    double memo_hit_rate() const {
+      return memo_queries == 0 ? 0.0
+                               : double(memo_hits) / double(memo_queries);
+    }
   };
   Snapshot snapshot() const {
-    return {raw_reads.load(),       raw_writes.load(),
-            read_intervals.load(),  write_intervals.load(),
-            strands.load(),         traces.load(),
-            steals.load(),          reach_queries.load(),
-            stalled_pushes.load(),  backoff_pauses.load(),
-            dropped_strands.load(), oom_events.load(),
-            watchdog_trips.load(),  core_ns.load(),
-            writer_ns.load(),       lreader_ns.load(),
-            rreader_ns.load(),      total_ns.load()};
+    return {raw_reads.load(),         raw_writes.load(),
+            read_intervals.load(),    write_intervals.load(),
+            fastpath_accesses.load(), fastpath_hits.load(),
+            slowpath_accesses.load(), memo_queries.load(),
+            memo_hits.load(),         strands.load(),
+            traces.load(),            steals.load(),
+            reach_queries.load(),     stalled_pushes.load(),
+            backoff_pauses.load(),    dropped_strands.load(),
+            oom_events.load(),        watchdog_trips.load(),
+            core_ns.load(),           writer_ns.load(),
+            lreader_ns.load(),        rreader_ns.load(),
+            total_ns.load()};
   }
 };
 

@@ -78,6 +78,16 @@ class List {
   std::uint64_t structural_mutations() const {
     return version_.load(std::memory_order_relaxed) / 2;
   }
+  /// Raw seqlock epoch for memoizing query results (reach::MemoCache): even
+  /// while quiescent, odd while a structural-mutation window is open, and
+  /// monotone non-decreasing.  Two reads returning the same value bracket a
+  /// window with no *completed* relabel/split - and since the relative order
+  /// of two existing items never changes under any OM mutation, a cached
+  /// precedes() result guarded by epoch equality is doubly safe (the epoch
+  /// check is belt-and-braces; see DESIGN.md §9).
+  std::uint64_t structural_version() const {
+    return version_.load(std::memory_order_acquire);
+  }
   /// Walks the whole structure under the top lock and verifies every
   /// ordering invariant. Test-only (stops the world is not needed; caller
   /// must ensure no concurrent inserts).

@@ -357,15 +357,26 @@ void PintDetector::seal_strand(CoreWS& ws, Strand* s) {
   ws.write_intervals += s->writes.items().size();
 }
 
+void PintDetector::cursor_flush(CoreWS& ws) {
+  const detect::CursorFlush fl = detect::cursor_invalidate();
+  ws.raw_reads += fl.raw_reads;
+  ws.raw_writes += fl.raw_writes;
+  ws.fast_accesses += fl.raw_reads + fl.raw_writes;
+  ws.fast_hits += fl.hits;
+}
+
 // ---------------------------------------------------------------------------
 // detect::Detector (memory events, on core workers)
 // ---------------------------------------------------------------------------
 
 void PintDetector::on_access(rt::Worker& w, rt::TaskFrame& f, detect::addr_t lo,
                              detect::addr_t hi, bool is_write) {
+  // Classic route: taken only when the AccessCursor fast path is disabled
+  // (ablation) - with a cursor installed, record_access never reaches here.
   auto& ws = *static_cast<CoreWS*>(w.det_worker);
   auto* s = static_cast<Strand*>(f.det_strand);
   PINT_ASSERT(s != nullptr);
+  ws.slow_accesses++;
   if (is_write) {
     ws.raw_writes++;
     if (opt_.coalesce) {
@@ -400,11 +411,13 @@ void PintDetector::on_root_start(rt::Worker& w, rt::TaskFrame& f) {
   r->label = reach_.root_label();
   r->tag = f.task_name;
   f.det_strand = r;
+  detect::cursor_install(&r->reads, &r->writes, opt_.coalesce);
 }
 
 void PintDetector::on_root_end(rt::Worker& w, rt::TaskFrame& f) {
   auto& ws = *static_cast<CoreWS*>(w.det_worker);
   auto* u = static_cast<Strand*>(f.det_strand);
+  cursor_flush(ws);
   seal_strand(ws, u);
   u->clears.push_back({f.fiber->stack_lo(), f.fiber->stack_hi() - 1});
   // trace insertion happens at on_task_retire, off this fiber's stack
@@ -414,6 +427,7 @@ void PintDetector::on_spawn(rt::Worker& w, rt::TaskFrame& parent,
                             rt::SyncBlock& blk, rt::TaskFrame& child) {
   auto& ws = *static_cast<CoreWS*>(w.det_worker);
   auto* u = static_cast<Strand*>(parent.det_strand);
+  cursor_flush(ws);
   seal_strand(ws, u);
 
   auto* j = static_cast<Strand*>(blk.det_sync);
@@ -437,12 +451,15 @@ void PintDetector::on_spawn(rt::Worker& w, rt::TaskFrame& parent,
   child.det_strand = g;
   parent.det_cont = t;
   trace_push(ws, u);  // Algorithm 1, line 11
+  // The spawned child runs next on this worker (continuation stealing).
+  detect::cursor_install(&g->reads, &g->writes, opt_.coalesce);
 }
 
 void PintDetector::on_spawn_return(rt::Worker& w, rt::TaskFrame& child,
                                    bool continuation_stolen) {
   auto& ws = *static_cast<CoreWS*>(w.det_worker);
   auto* u = static_cast<Strand*>(child.det_strand);  // the return node
+  cursor_flush(ws);
   seal_strand(ws, u);
   if (continuation_stolen) {
     // Algorithm 1, lines 15-17: this return node becomes a predecessor of
@@ -470,14 +487,20 @@ void PintDetector::on_continuation(rt::Worker& w, rt::TaskFrame& parent,
     auto& ws = *static_cast<CoreWS*>(w.det_worker);
     start_new_trace(ws);
   }
+  // The continuation strand runs next on this worker - on the thief after a
+  // steal, on the original worker otherwise (its child-cursor was flushed
+  // at on_spawn_return).
+  detect::cursor_install(&t->reads, &t->writes, opt_.coalesce);
 }
 
 void PintDetector::on_sync(rt::Worker& w, rt::TaskFrame& f, rt::SyncBlock& blk,
                            bool trivial) {
   auto* j = static_cast<Strand*>(blk.det_sync);
   if (j == nullptr) return;  // no spawn since the last sync: sync is a no-op
+  // (strand u continues - its cursor stays installed)
   auto& ws = *static_cast<CoreWS*>(w.det_worker);
   auto* u = static_cast<Strand*>(f.det_strand);
+  cursor_flush(ws);
   seal_strand(ws, u);
   if (!trivial) {
     // Algorithm 1, lines 29-31.
@@ -499,6 +522,9 @@ void PintDetector::on_after_sync(rt::Worker& w, rt::TaskFrame& f,
   }
   f.det_strand = j;  // the sync node is the new current strand
   blk.det_sync = nullptr;
+  // A non-trivial sync may resume on a different worker thread than the one
+  // that parked at on_sync - install on whichever thread runs j next.
+  detect::cursor_install(&j->reads, &j->writes, opt_.coalesce);
 }
 
 bool PintDetector::on_task_retire(rt::Worker& w, rt::TaskFrame& f) {
@@ -606,9 +632,11 @@ void PintDetector::process_writer(Strand* s) {
       // all three stores. Deferred resources are still released here (the
       // queue-order argument of paper SIII-F is unchanged).
     } else if (opt_.history == detect::HistoryKind::kTreap) {
-      detect::process_writer_treap(writer_treap_, *s, reach_, rep_, stats_);
+      detect::process_writer_treap(writer_treap_, *s, reach_, rep_, stats_,
+                                   &memo_writer_);
     } else {
-      detect::process_writer_treap(writer_map_, *s, reach_, rep_, stats_);
+      detect::process_writer_treap(writer_map_, *s, reach_, rep_, stats_,
+                                   &memo_writer_);
     }
     // Deferred frees become real here: any later reuse of this memory is by
     // a strand collected after s, so each treap erases the range before
@@ -738,15 +766,16 @@ void PintDetector::reader_loop(ReaderSide side) {
   const bool use_treap = opt_.history == detect::HistoryKind::kTreap;
   StopwatchAccum& watch = left ? lreader_watch_ : rreader_watch_;
   ConsumerLane& lane = *lanes_[left ? 0 : 1];
+  reach::MemoCache& memo = left ? memo_lreader_ : memo_rreader_;
   consume_loop(lane, [&](Strand* s) {
     watch.start();
     {
       // Nested inside the watch (see process_writer): span sum ~= *_ns.
       telem::ScopedSpan span(span_name);
       if (use_treap) {
-        detect::process_reader_treap(t, *s, reach_, rep_, stats_, side);
+        detect::process_reader_treap(t, *s, reach_, rep_, stats_, side, &memo);
       } else {
-        detect::process_reader_treap(m, *s, reach_, rep_, stats_, side);
+        detect::process_reader_treap(m, *s, reach_, rep_, stats_, side, &memo);
       }
     }
     watch.stop();
@@ -1029,7 +1058,30 @@ RunResult PintDetector::run(std::function<void()> fn) {
     stats_.write_intervals.fetch_add(ws->write_intervals);
     stats_.strands.fetch_add(ws->strands);
     stats_.traces.fetch_add(ws->traces);
+    stats_.fastpath_accesses.fetch_add(ws->fast_accesses);
+    stats_.fastpath_hits.fetch_add(ws->fast_hits);
+    stats_.slowpath_accesses.fetch_add(ws->slow_accesses);
   }
+  // Memo-cache totals: all history threads are joined (quiescence), so the
+  // plain per-cache counters are safe to sum here.
+  std::uint64_t mq = memo_writer_.queries + memo_lreader_.queries +
+                     memo_rreader_.queries;
+  std::uint64_t mh =
+      memo_writer_.hits + memo_lreader_.hits + memo_rreader_.hits;
+  for (const auto& sh : shards_) {
+    mq += sh->memo.queries;
+    mh += sh->memo.hits;
+  }
+  stats_.memo_queries.fetch_add(mq);
+  stats_.memo_hits.fetch_add(mh);
+  telem::count("access.fastpath.total",
+               stats_.fastpath_accesses.load(std::memory_order_relaxed));
+  telem::count("access.fastpath.hits",
+               stats_.fastpath_hits.load(std::memory_order_relaxed));
+  telem::count("access.slowpath.total",
+               stats_.slowpath_accesses.load(std::memory_order_relaxed));
+  telem::count("reach.memo.queries", mq);
+  telem::count("reach.memo.hits", mh);
 
   detect::set_active_detector(nullptr);
   sched_ = nullptr;

@@ -130,6 +130,10 @@ class PintDetector final : public detect::Detector,
     std::uint64_t raw_reads = 0, raw_writes = 0;
     std::uint64_t read_intervals = 0, write_intervals = 0;
     std::uint64_t strands = 0, traces = 0;
+    // AccessCursor effectiveness (DESIGN.md §9): raw accesses recorded via
+    // the thread-local cursor, the subset its inline caches absorbed, and
+    // accesses that took the classic virtual-dispatch route.
+    std::uint64_t fast_accesses = 0, fast_hits = 0, slow_accesses = 0;
     // consumer side (owned by the writer treap worker)
     Trace* ccur = nullptr;
     // strand pool: owner pops, writer treap worker returns
@@ -155,6 +159,10 @@ class PintDetector final : public detect::Detector,
   void trace_push(CoreWS& ws, detect::Strand* s);
   void start_new_trace(CoreWS& ws);
   void seal_strand(CoreWS& ws, detect::Strand* s);
+  /// Invalidates the calling thread's AccessCursor, folding its drained
+  /// counters into ws.  Must run before seal_strand() of the cursor's
+  /// strand (pending cursor intervals land in the strand's AccessBuffers).
+  void cursor_flush(CoreWS& ws);
 
   // graceful degradation (allocation-failure paths)
   void note_oom(const char* what);
@@ -194,6 +202,12 @@ class PintDetector final : public detect::Detector,
   detect::GranuleMap writer_map_;
   detect::GranuleMap lreader_map_;
   detect::GranuleMap rreader_map_;
+  // Per-history-worker precedes() memo caches: each is touched only by the
+  // one thread that owns the matching store (sharded mode keeps its own
+  // cache inside each HistoryShard).
+  reach::MemoCache memo_writer_;
+  reach::MemoCache memo_lreader_;
+  reach::MemoCache memo_rreader_;
   std::vector<std::unique_ptr<HistoryShard>> shards_;
 
   std::vector<std::unique_ptr<CoreWS>> ws_;

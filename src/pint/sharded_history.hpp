@@ -61,6 +61,9 @@ struct HistoryShard {
   treap::IntervalTreap lreader;
   treap::IntervalTreap rreader;
   StopwatchAccum watch;
+  // precedes() memo - touched only by this shard's worker thread, like the
+  // treaps above.  Counters summed into Stats at run end (quiescence).
+  reach::MemoCache memo;
 
   HistoryShard(std::uint64_t seed_w, std::uint64_t seed_l, std::uint64_t seed_r)
       : writer(seed_w), lreader(seed_l), rreader(seed_r) {}
@@ -77,24 +80,25 @@ struct HistoryShard {
 
     for (const detect::Interval& r : s.reads.items()) {
       for_shard_pieces(r.lo, r.hi, shard, nshards, [&](auto lo, auto hi) {
-        writer.query(lo, hi,
-                     detect::make_conflict_cb(me, true, false, reach, rep, stats));
+        writer.query(lo, hi, detect::make_conflict_cb(me, true, false, reach,
+                                                      rep, stats, &memo));
       });
     }
     for (const detect::Interval& w : s.writes.items()) {
       for_shard_pieces(w.lo, w.hi, shard, nshards, [&](auto lo, auto hi) {
-        lreader.query(lo, hi,
-                      detect::make_conflict_cb(me, false, true, reach, rep, stats));
-        rreader.query(lo, hi,
-                      detect::make_conflict_cb(me, false, true, reach, rep, stats));
-        writer.insert_writer(
-            lo, hi, me, detect::make_conflict_cb(me, true, true, reach, rep, stats));
+        lreader.query(lo, hi, detect::make_conflict_cb(me, false, true, reach,
+                                                       rep, stats, &memo));
+        rreader.query(lo, hi, detect::make_conflict_cb(me, false, true, reach,
+                                                       rep, stats, &memo));
+        writer.insert_writer(lo, hi, me,
+                             detect::make_conflict_cb(me, true, true, reach,
+                                                      rep, stats, &memo));
       });
     }
-    const auto lresolve =
-        detect::make_reader_resolver(me, reach, stats, ReaderSide::kLeftMost);
-    const auto rresolve =
-        detect::make_reader_resolver(me, reach, stats, ReaderSide::kRightMost);
+    const auto lresolve = detect::make_reader_resolver(
+        me, reach, stats, ReaderSide::kLeftMost, &memo);
+    const auto rresolve = detect::make_reader_resolver(
+        me, reach, stats, ReaderSide::kRightMost, &memo);
     for (const detect::Interval& r : s.reads.items()) {
       for_shard_pieces(r.lo, r.hi, shard, nshards, [&](auto lo, auto hi) {
         lreader.insert_reader(lo, hi, me, lresolve);

@@ -22,6 +22,9 @@
 //
 // All operations are thread-safe; precedes() is lock-free (see om::List).
 
+#include <cstdint>
+#include <vector>
+
 #include "om/order_maintenance.hpp"
 
 namespace pint::reach {
@@ -33,6 +36,60 @@ struct Label {
   om::Item* eng = nullptr;
   om::Item* heb = nullptr;
   bool valid() const { return eng != nullptr; }
+};
+
+/// Both order verdicts for an ordered label pair (u, v).  One Relation
+/// answers every predicate the history lanes ask: series (eng && heb),
+/// parallel (eng != heb), and English-order left_of (eng) - and because the
+/// two orders are strict total orders over distinct items, the reversed pair
+/// is just the negation of both bits.
+struct Relation {
+  bool eng = false;  // u before v in the English order
+  bool heb = false;  // u before v in the Hebrew order
+};
+
+/// Direct-mapped memo for Engine::relation(), keyed by label identity (the
+/// English om::Item* uniquely identifies a label).  One cache per history
+/// worker - strictly single-threaded, like the treap it sits next to.  An
+/// entry is valid only while the engine's structural epoch (the sum of the
+/// two OM lists' seqlock versions) is unchanged; any completed OM relabel
+/// bumps the epoch and lazily invalidates the whole cache.  Inserting one
+/// strand's intervals re-queries the same few accessor labels across many
+/// overlapping treap nodes, which is exactly the reuse a direct-mapped
+/// cache captures.
+class MemoCache {
+ public:
+  static constexpr std::size_t kSlots = std::size_t(1) << 12;
+
+  MemoCache() : entries_(kSlots) {}
+
+  void clear() {
+    entries_.assign(kSlots, Entry{});
+    hits = queries = 0;
+  }
+
+  // Hit-rate counters, flushed into detect::Stats at run end.
+  std::uint64_t hits = 0;
+  std::uint64_t queries = 0;
+
+ private:
+  friend class Engine;
+  struct Entry {
+    const om::Item* a = nullptr;  // key: canonically ordered label pair
+    const om::Item* b = nullptr;
+    std::uint64_t epoch = 0;
+    Relation rel;
+  };
+
+  static std::size_t slot_of(const om::Item* a, const om::Item* b) {
+    const auto x = std::uint64_t(reinterpret_cast<std::uintptr_t>(a));
+    const auto y = std::uint64_t(reinterpret_cast<std::uintptr_t>(b));
+    std::uint64_t h = (x >> 4) * 0x9e3779b97f4a7c15ULL;
+    h ^= (y >> 4) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return std::size_t(h) & (kSlots - 1);
+  }
+
+  std::vector<Entry> entries_;
 };
 
 class Engine {
@@ -65,23 +122,58 @@ class Engine {
     return out;
   }
 
+  /// Both order verdicts for (u, v), optionally memoized.  The memo key is
+  /// the canonically ordered pointer pair, so (u, v) and (v, u) share one
+  /// entry (the reversed answer is the negation of both bits - the orders
+  /// are strict and total over distinct items).  A null memo degrades to
+  /// the two direct seqlock queries.
+  Relation relation(const Label& u, const Label& v, MemoCache* memo) const {
+    if (memo == nullptr) {
+      return {eng_.precedes(u.eng, v.eng), heb_.precedes(u.heb, v.heb)};
+    }
+    ++memo->queries;
+    if (u.eng == v.eng) return {};  // same label: strictly ordered by neither
+    const bool flip = reinterpret_cast<std::uintptr_t>(u.eng) >
+                      reinterpret_cast<std::uintptr_t>(v.eng);
+    const Label& a = flip ? v : u;
+    const Label& b = flip ? u : v;
+    MemoCache::Entry& e = memo->entries_[MemoCache::slot_of(a.eng, b.eng)];
+    const std::uint64_t now = structural_epoch();
+    if (e.a == a.eng && e.b == b.eng && e.epoch == now) {
+      ++memo->hits;
+      return flip ? Relation{!e.rel.eng, !e.rel.heb} : e.rel;
+    }
+    const Relation r{eng_.precedes(a.eng, b.eng), heb_.precedes(a.heb, b.heb)};
+    e.a = a.eng;
+    e.b = b.eng;
+    e.epoch = now;
+    e.rel = r;
+    return flip ? Relation{!r.eng, !r.heb} : r;
+  }
+
   /// u ~> v : is u in series with (an ancestor of) v?
-  bool precedes(const Label& u, const Label& v) const {
-    return eng_.precedes(u.eng, v.eng) && heb_.precedes(u.heb, v.heb);
+  bool precedes(const Label& u, const Label& v, MemoCache* memo = nullptr) const {
+    const Relation r = relation(u, v, memo);
+    return r.eng && r.heb;
   }
 
   /// u || v : logically parallel (neither reaches the other).
-  bool parallel(const Label& u, const Label& v) const {
-    const bool e = eng_.precedes(u.eng, v.eng);
-    const bool h = heb_.precedes(u.heb, v.heb);
-    return e != h;
+  bool parallel(const Label& u, const Label& v, MemoCache* memo = nullptr) const {
+    const Relation r = relation(u, v, memo);
+    return r.eng != r.heb;
   }
 
   /// For two *parallel* strands: is u left of v in the left-to-right
   /// depth-first execution order? (Used by the left/right-most reader
   /// treaps.) Equivalent to English-order comparison.
-  bool left_of(const Label& u, const Label& v) const {
-    return eng_.precedes(u.eng, v.eng);
+  bool left_of(const Label& u, const Label& v, MemoCache* memo = nullptr) const {
+    return relation(u, v, memo).eng;
+  }
+
+  /// Memo validity epoch: the sum of the two OM seqlock versions.  Both are
+  /// monotone non-decreasing, so equal sums imply both versions unchanged.
+  std::uint64_t structural_epoch() const {
+    return eng_.structural_version() + heb_.structural_version();
   }
 
   om::List& english() { return eng_; }

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "detect/instrument.hpp"
 #include "support/telemetry.hpp"
 
 namespace pint::rt {
@@ -96,6 +97,11 @@ void Scheduler::run_frame(TaskFrame* root) {
     threads.emplace_back([w, i] {
       t_worker = w;
       set_core_role(int(i));
+      // Fresh OS thread: make sure no stale AccessCursor state is live
+      // before any strand installs one here.  Worker 0 is deliberately NOT
+      // reset: it runs on the caller's thread, which may belong to an outer
+      // nested scheduler whose cursor must survive this run.
+      detect::cursor_reset();
       san::adopt_current_thread_stack(w->loop_ctx_.san);
       w->loop();
       t_worker = nullptr;

@@ -46,7 +46,16 @@ void StintDetector::seal_strand(Strand* s) {
   write_intervals_ += s->writes.items().size();
 }
 
+void StintDetector::cursor_flush() {
+  const detect::CursorFlush fl = detect::cursor_invalidate();
+  raw_reads_ += fl.raw_reads;
+  raw_writes_ += fl.raw_writes;
+  fast_accesses_ += fl.raw_reads + fl.raw_writes;
+  fast_hits_ += fl.hits;
+}
+
 void StintDetector::process_strand(Strand* s) {
+  cursor_flush();  // pending cursor intervals land in s before the seal
   seal_strand(s);
   // STINT's history runs inline on the execution thread; the two spans make
   // its writer/reader phases comparable with PINT's asynchronous tracks.
@@ -56,9 +65,11 @@ void StintDetector::process_strand(Strand* s) {
     // (same reasoning as PintDetector::process_writer).
     PINT_TSPAN("stint.writer");
     if (opt_.history == detect::HistoryKind::kTreap) {
-      detect::process_writer_treap(writer_treap_, *s, reach_, rep_, stats_);
+      detect::process_writer_treap(writer_treap_, *s, reach_, rep_, stats_,
+                                   &memo_writer_);
     } else {
-      detect::process_writer_treap(writer_map_, *s, reach_, rep_, stats_);
+      detect::process_writer_treap(writer_map_, *s, reach_, rep_, stats_,
+                                   &memo_writer_);
     }
   }
   writer_watch_.stop();
@@ -67,10 +78,10 @@ void StintDetector::process_strand(Strand* s) {
     PINT_TSPAN("stint.reader");
     if (opt_.history == detect::HistoryKind::kTreap) {
       detect::process_reader_treap(reader_treap_, *s, reach_, rep_, stats_,
-                                   detect::ReaderSide::kSerial);
+                                   detect::ReaderSide::kSerial, &memo_reader_);
     } else {
       detect::process_reader_treap(reader_map_, *s, reach_, rep_, stats_,
-                                   detect::ReaderSide::kSerial);
+                                   detect::ReaderSide::kSerial, &memo_reader_);
     }
   }
   reader_watch_.stop();
@@ -81,8 +92,10 @@ void StintDetector::process_strand(Strand* s) {
 
 void StintDetector::on_access(rt::Worker&, rt::TaskFrame& f, detect::addr_t lo,
                               detect::addr_t hi, bool is_write) {
+  // Classic route: only taken when the AccessCursor fast path is disabled.
   auto* s = static_cast<Strand*>(f.det_strand);
   PINT_ASSERT(s != nullptr);
+  ++slow_accesses_;
   if (is_write) {
     ++raw_writes_;
     if (opt_.coalesce) {
@@ -117,6 +130,7 @@ void StintDetector::on_root_start(rt::Worker&, rt::TaskFrame& f) {
   r->label = reach_.root_label();
   r->tag = f.task_name;
   f.det_strand = r;
+  detect::cursor_install(&r->reads, &r->writes, opt_.coalesce);
 }
 
 void StintDetector::on_root_end(rt::Worker&, rt::TaskFrame& f) {
@@ -145,6 +159,8 @@ void StintDetector::on_spawn(rt::Worker&, rt::TaskFrame& parent,
   child.det_strand = g;
   parent.det_cont = t;
   process_strand(u);
+  // The spawned child runs next (serial elision order).
+  detect::cursor_install(&g->reads, &g->writes, opt_.coalesce);
 }
 
 void StintDetector::on_spawn_return(rt::Worker&, rt::TaskFrame& child,
@@ -159,8 +175,10 @@ void StintDetector::on_spawn_return(rt::Worker&, rt::TaskFrame& child,
 void StintDetector::on_continuation(rt::Worker&, rt::TaskFrame& parent,
                                     bool stolen) {
   PINT_CHECK_MSG(!stolen, "STINT must run on one worker");
-  parent.det_strand = parent.det_cont;
+  auto* t = static_cast<Strand*>(parent.det_cont);
+  parent.det_strand = t;
   parent.det_cont = nullptr;
+  detect::cursor_install(&t->reads, &t->writes, opt_.coalesce);
 }
 
 void StintDetector::on_sync(rt::Worker&, rt::TaskFrame& f, rt::SyncBlock& blk,
@@ -174,9 +192,10 @@ void StintDetector::on_sync(rt::Worker&, rt::TaskFrame& f, rt::SyncBlock& blk,
 void StintDetector::on_after_sync(rt::Worker&, rt::TaskFrame& f,
                                   rt::SyncBlock& blk, bool) {
   auto* j = static_cast<Strand*>(blk.det_sync);
-  if (j == nullptr) return;
+  if (j == nullptr) return;  // cursor of the continuing strand stays live
   f.det_strand = j;
   blk.det_sync = nullptr;
+  detect::cursor_install(&j->reads, &j->writes, opt_.coalesce);
 }
 
 // --- run ----------------------------------------------------------------
@@ -203,6 +222,18 @@ detect::RunResult StintDetector::run(std::function<void()> fn) {
   stats_.read_intervals.store(read_intervals_);
   stats_.write_intervals.store(write_intervals_);
   stats_.strands.store(strands_);
+  stats_.fastpath_accesses.store(fast_accesses_);
+  stats_.fastpath_hits.store(fast_hits_);
+  stats_.slowpath_accesses.store(slow_accesses_);
+  const std::uint64_t mq = memo_writer_.queries + memo_reader_.queries;
+  const std::uint64_t mh = memo_writer_.hits + memo_reader_.hits;
+  stats_.memo_queries.store(mq);
+  stats_.memo_hits.store(mh);
+  telem::count("access.fastpath.total", fast_accesses_);
+  telem::count("access.fastpath.hits", fast_hits_);
+  telem::count("access.slowpath.total", slow_accesses_);
+  telem::count("reach.memo.queries", mq);
+  telem::count("reach.memo.hits", mh);
   stats_.writer_ns.store(writer_watch_.total_ns());
   stats_.lreader_ns.store(reader_watch_.total_ns());
   stats_.core_ns.store(total.elapsed_ns() - writer_watch_.total_ns() -

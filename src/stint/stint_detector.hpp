@@ -74,9 +74,11 @@ class StintDetector final : public detect::Detector,
   detect::Strand* alloc_strand();
   void recycle_strand(detect::Strand* s);
   /// Synchronous end-of-strand processing: check + insert + clear, then
-  /// recycle the record.
+  /// recycle the record.  Drains the execution thread's AccessCursor first
+  /// (process_strand is only ever called on the current strand).
   void process_strand(detect::Strand* s);
   void seal_strand(detect::Strand* s);
+  void cursor_flush();
 
   Options opt_;
   reach::Engine reach_;
@@ -86,6 +88,10 @@ class StintDetector final : public detect::Detector,
   treap::IntervalTreap reader_treap_;
   detect::GranuleMap writer_map_;
   detect::GranuleMap reader_map_;
+  // precedes() memos - everything is single-threaded here, one cache per
+  // store role keeps the working sets disjoint (writer vs reader queries).
+  reach::MemoCache memo_writer_;
+  reach::MemoCache memo_reader_;
 
   detect::Strand* free_list_ = nullptr;
   std::vector<detect::Strand*> owned_;
@@ -93,6 +99,7 @@ class StintDetector final : public detect::Detector,
   std::uint64_t raw_reads_ = 0, raw_writes_ = 0;
   std::uint64_t read_intervals_ = 0, write_intervals_ = 0;
   std::uint64_t strands_ = 0;
+  std::uint64_t fast_accesses_ = 0, fast_hits_ = 0, slow_accesses_ = 0;
   StopwatchAccum writer_watch_, reader_watch_;
   bool used_ = false;
 };

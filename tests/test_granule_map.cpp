@@ -94,6 +94,23 @@ TEST(GranuleMap, TombstoneSlotsAreReusable) {
   EXPECT_EQ(m.size(), 1u);
 }
 
+TEST(GranuleMap, TinyCapacitiesAreRoundedUpToTheMinimum) {
+  // Regression: capacity 0 used to underflow the mask to all-ones over an
+  // empty slot table, so the very first probe walked out of bounds.
+  for (const std::size_t cap : {std::size_t(0), std::size_t(1),
+                                std::size_t(2), std::size_t(8)}) {
+    GranuleMap m(cap);
+    EXPECT_GE(m.capacity(), GranuleMap::kMinCapacity) << "cap=" << cap;
+    m.insert_writer(0, 4 * G - 1, acc(3), [](auto, auto, const auto&) {});
+    std::uint64_t hits = 0;
+    m.query(0, 4 * G - 1, [&](auto, auto, const Accessor& a) {
+      EXPECT_EQ(a.sid, 3u);
+      ++hits;
+    });
+    EXPECT_EQ(hits, 4u) << "cap=" << cap;
+  }
+}
+
 TEST(GranuleMap, GrowsPastInitialCapacity) {
   GranuleMap m(16);
   constexpr std::uint64_t kN = 4096;
