@@ -96,6 +96,12 @@ std::vector<std::pair<std::string, std::uint64_t>> stats_kv(
       {"slowpath_accesses", s.slowpath_accesses},
       {"memo_queries", s.memo_queries},
       {"memo_hits", s.memo_hits},
+      {"bulk_runs", s.bulk_runs},
+      {"bulk_run_intervals", s.bulk_run_intervals},
+      {"batch_drains", s.batch_drains},
+      {"batch_strands", s.batch_strands},
+      {"prefetch_issues", s.prefetch_issues},
+      {"deep_backoffs", s.deep_backoffs},
       {"strands", s.strands},
       {"traces", s.traces},
       {"steals", s.steals},

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI driver: tier-1 suite plus the sanitizer lanes.
 #
-#   scripts/ci.sh            # all lanes (tier1, tsan, asan, faults)
+#   scripts/ci.sh            # all lanes (tier1 ... perf, bulkapply)
 #   scripts/ci.sh tier1      # plain Release build + full ctest
 #   scripts/ci.sh tsan       # -DPINT_SAN=thread build + ctest -L tsan
 #   scripts/ci.sh asan       # -DPINT_SAN=address build + ctest -L asan
@@ -12,8 +12,12 @@
 #                            # proving the zero-cost path still compiles
 #   scripts/ci.sh perf       # perf smoke: micro_access (fails below the 3x
 #                            # fast-path bar or with a dead memo cache),
-#                            # emits BENCH_access.json, plus a tiny
+#                            # emits BENCH_access.json; micro_treap
+#                            # --bulk-json (fails below the 2x bulk-run
+#                            # bar), emits BENCH_treap.json; plus a tiny
 #                            # fig1_overview run
+#   scripts/ci.sh bulkapply  # bulk-run equivalence suite (ctest -L
+#                            # bulkapply) in the plain AND the TSan builds
 #
 # Each lane builds into its own directory (build/, build-tsan/, build-asan/,
 # build-notelem/) so switching lanes never churns another lane's objects.  A
@@ -26,7 +30,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 LANES=("$@")
 if [ ${#LANES[@]} -eq 0 ]; then
-  LANES=(tier1 tsan asan faults telemetry perf)
+  LANES=(tier1 tsan asan faults telemetry perf bulkapply)
 fi
 
 build_dir() {
@@ -49,6 +53,17 @@ run_lane() {
       (cd build && ctest --output-on-failure -L faults)
       build_dir build-tsan thread
       (cd build-tsan && ctest --output-on-failure -L faults)
+      return
+      ;;
+    bulkapply)
+      # Bit-identical run-API equivalence must hold under TSan too: the
+      # batched lane consumption defers the RECYCLE decrement, so the TSan
+      # pass is what certifies the reordered release sequence.
+      echo "=== lane: bulkapply (build dirs: build, build-tsan) ==="
+      build_dir build ""
+      (cd build && ctest --output-on-failure -L bulkapply)
+      build_dir build-tsan thread
+      (cd build-tsan && ctest --output-on-failure -L bulkapply)
       return
       ;;
     telemetry)
@@ -86,6 +101,12 @@ run_lane() {
       ./build/bench/micro_access --json BENCH_access.json
       python3 -m json.tool BENCH_access.json > /dev/null
       echo "validated BENCH_access.json"
+      # micro_treap --bulk-json enforces the bulk sorted-run bar itself:
+      # exits non-zero if the run API is under 2x the per-record loop on the
+      # disjoint or adjacent writer workload, or if the two paths diverge.
+      ./build/bench/micro_treap --bulk-json BENCH_treap.json
+      python3 -m json.tool BENCH_treap.json > /dev/null
+      echo "validated BENCH_treap.json"
       # Smoke the end-to-end overhead figure at a tiny scale: catches a
       # detector that silently stopped taking the fast path in the full
       # harness (the run aborts on verification failure or false races).

@@ -82,6 +82,37 @@ class GranuleMap {
     }
   }
 
+  // --- Bulk sorted-run shims (uniform History interface, DESIGN.md §10) ---
+  //
+  // A per-granule map has no cross-interval structure to exploit, so the
+  // run flavors just loop - but exposing them keeps the History template
+  // interface uniform, letting process_*_treap use one code path for both
+  // stores (and the ablation measure exactly the data-structure delta).
+
+  template <class Iv, class F>
+  void query_run(const Iv* iv, std::size_t k, F&& cb) const {
+    for (std::size_t j = 0; j < k; ++j) query(iv[j].lo, iv[j].hi, cb);
+  }
+
+  template <class Iv, class F>
+  void insert_writer_run(const Iv* iv, std::size_t k, const treap::Accessor& a,
+                         F&& cb) {
+    for (std::size_t j = 0; j < k; ++j) insert_writer(iv[j].lo, iv[j].hi, a, cb);
+  }
+
+  template <class Iv, class R>
+  void insert_reader_run(const Iv* iv, std::size_t k, const treap::Accessor& a,
+                         R&& resolve) {
+    for (std::size_t j = 0; j < k; ++j) {
+      insert_reader(iv[j].lo, iv[j].hi, a, resolve);
+    }
+  }
+
+  template <class Iv>
+  void erase_run(const Iv* iv, std::size_t k) {
+    for (std::size_t j = 0; j < k; ++j) erase_range(iv[j].lo, iv[j].hi);
+  }
+
   void erase_range(treap::addr_t lo, treap::addr_t hi) {
     // Clamp to the granule range ever inserted: shadow stores skip unmapped
     // regions, so clearing a (huge) never-touched stack range must be cheap.

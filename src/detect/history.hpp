@@ -5,6 +5,8 @@
 // and by STINT's synchronous processing - the semantics are identical, only
 // *when* and *on which thread* they run differs (paper §III-A).
 
+#include <atomic>
+
 #include "detect/granule_map.hpp"
 #include "detect/report.hpp"
 #include "detect/stats.hpp"
@@ -13,6 +15,35 @@
 #include "treap/interval_treap.hpp"
 
 namespace pint::detect {
+
+// ---------------------------------------------------------------------------
+// Bulk-run knob (DESIGN.md §10)
+// ---------------------------------------------------------------------------
+//
+// When on (the default), a strand whose record list is canonical (sorted +
+// disjoint, see AccessBuffer::canonical) is applied through the stores' bulk
+// *_run API - one amortized carve per list instead of one root walk per
+// interval.  The callback/resolver sequence is identical either way, so race
+// reports are bit-identical; the equivalence suite (tests/test_bulk_apply)
+// flips this off to prove it.  Same global-knob shape as
+// set_access_fast_path: flip only while no detector is running.
+
+inline std::atomic<bool>& bulk_apply_knob() {
+  static std::atomic<bool> on{true};
+  return on;
+}
+inline void set_bulk_apply(bool on) {
+  bulk_apply_knob().store(on, std::memory_order_relaxed);
+}
+inline bool bulk_apply() {
+  return bulk_apply_knob().load(std::memory_order_relaxed);
+}
+
+/// One *_run call of k intervals issued to a history store.
+inline void note_bulk_run(Stats& stats, std::size_t k) {
+  stats.bulk_runs.fetch_add(1, std::memory_order_relaxed);
+  stats.bulk_run_intervals.fetch_add(k, std::memory_order_relaxed);
+}
 
 /// Which reader the reader treap retains for each interval.
 enum class ReaderSide {
@@ -85,13 +116,30 @@ inline void process_writer_treap(History& t, const Strand& s,
                                  Stats& stats,
                                  reach::MemoCache* memo = nullptr) {
   const treap::Accessor me = accessor_of(s);
-  for (const Interval& r : s.reads.items()) {
-    t.query(r.lo, r.hi,
-            make_conflict_cb(me, true, false, reach, rep, stats, memo));
+  const bool bulk = bulk_apply();
+  const auto& reads = s.reads.items();
+  if (bulk && s.reads.canonical() && !reads.empty()) {
+    note_bulk_run(stats, reads.size());
+    t.query_run(reads.data(), reads.size(),
+                make_conflict_cb(me, true, false, reach, rep, stats, memo));
+  } else {
+    for (const Interval& r : reads) {
+      t.query(r.lo, r.hi,
+              make_conflict_cb(me, true, false, reach, rep, stats, memo));
+    }
   }
-  for (const Interval& w : s.writes.items()) {
-    t.insert_writer(w.lo, w.hi, me,
-                    make_conflict_cb(me, true, true, reach, rep, stats, memo));
+  const auto& writes = s.writes.items();
+  if (bulk && s.writes.canonical() && !writes.empty()) {
+    note_bulk_run(stats, writes.size());
+    t.insert_writer_run(
+        writes.data(), writes.size(), me,
+        make_conflict_cb(me, true, true, reach, rep, stats, memo));
+  } else {
+    for (const Interval& w : writes) {
+      t.insert_writer(
+          w.lo, w.hi, me,
+          make_conflict_cb(me, true, true, reach, rep, stats, memo));
+    }
   }
   for (const Interval& c : s.clears) t.erase_range(c.lo, c.hi);
   for (const HeapFree& f : s.frees) t.erase_range(f.lo, f.hi);
@@ -105,13 +153,27 @@ inline void process_reader_treap(History& t, const Strand& s,
                                  Stats& stats, ReaderSide side,
                                  reach::MemoCache* memo = nullptr) {
   const treap::Accessor me = accessor_of(s);
-  for (const Interval& w : s.writes.items()) {
-    t.query(w.lo, w.hi,
-            make_conflict_cb(me, false, true, reach, rep, stats, memo));
+  const bool bulk = bulk_apply();
+  const auto& writes = s.writes.items();
+  if (bulk && s.writes.canonical() && !writes.empty()) {
+    note_bulk_run(stats, writes.size());
+    t.query_run(writes.data(), writes.size(),
+                make_conflict_cb(me, false, true, reach, rep, stats, memo));
+  } else {
+    for (const Interval& w : writes) {
+      t.query(w.lo, w.hi,
+              make_conflict_cb(me, false, true, reach, rep, stats, memo));
+    }
   }
   const auto resolve = make_reader_resolver(me, reach, stats, side, memo);
-  for (const Interval& r : s.reads.items()) {
-    t.insert_reader(r.lo, r.hi, me, resolve);
+  const auto& reads = s.reads.items();
+  if (bulk && s.reads.canonical() && !reads.empty()) {
+    note_bulk_run(stats, reads.size());
+    t.insert_reader_run(reads.data(), reads.size(), me, resolve);
+  } else {
+    for (const Interval& r : reads) {
+      t.insert_reader(r.lo, r.hi, me, resolve);
+    }
   }
   for (const Interval& c : s.clears) t.erase_range(c.lo, c.hi);
   for (const HeapFree& f : s.frees) t.erase_range(f.lo, f.hi);

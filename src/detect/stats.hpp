@@ -28,6 +28,20 @@ struct Stats {
   std::atomic<std::uint64_t> memo_queries{0};
   std::atomic<std::uint64_t> memo_hits{0};
 
+  // Bulk-run apply + batched lane consumption (DESIGN.md §10).  bulk_runs
+  // counts *_run calls issued to a history store, bulk_run_intervals the
+  // intervals they carried (ratio = average run length).  batch_drains /
+  // batch_strands are the consumer lanes' head-snapshot batches and the
+  // strands they drained; prefetch_issues the next-strand software
+  // prefetches; deep_backoffs the Backoff waits that reached the bounded
+  // sleep tier (process-wide delta attributed to the run).
+  std::atomic<std::uint64_t> bulk_runs{0};
+  std::atomic<std::uint64_t> bulk_run_intervals{0};
+  std::atomic<std::uint64_t> batch_drains{0};
+  std::atomic<std::uint64_t> batch_strands{0};
+  std::atomic<std::uint64_t> prefetch_issues{0};
+  std::atomic<std::uint64_t> deep_backoffs{0};
+
   // Computation shape.
   std::atomic<std::uint64_t> strands{0};
   std::atomic<std::uint64_t> traces{0};
@@ -65,6 +79,8 @@ struct Stats {
     raw_reads = raw_writes = read_intervals = write_intervals = 0;
     fastpath_accesses = fastpath_hits = slowpath_accesses = 0;
     memo_queries = memo_hits = 0;
+    bulk_runs = bulk_run_intervals = 0;
+    batch_drains = batch_strands = prefetch_issues = deep_backoffs = 0;
     strands = traces = steals = reach_queries = 0;
     stalled_pushes = backoff_pauses = dropped_strands = 0;
     oom_events = watchdog_trips = 0;
@@ -76,6 +92,8 @@ struct Stats {
     std::uint64_t raw_reads, raw_writes, read_intervals, write_intervals;
     std::uint64_t fastpath_accesses, fastpath_hits, slowpath_accesses;
     std::uint64_t memo_queries, memo_hits;
+    std::uint64_t bulk_runs, bulk_run_intervals;
+    std::uint64_t batch_drains, batch_strands, prefetch_issues, deep_backoffs;
     std::uint64_t strands, traces, steals, reach_queries;
     std::uint64_t stalled_pushes, backoff_pauses, dropped_strands;
     std::uint64_t oom_events, watchdog_trips;
@@ -94,13 +112,24 @@ struct Stats {
       return memo_queries == 0 ? 0.0
                                : double(memo_hits) / double(memo_queries);
     }
+    double avg_run_len() const {
+      return bulk_runs == 0 ? 0.0
+                            : double(bulk_run_intervals) / double(bulk_runs);
+    }
+    double avg_batch() const {
+      return batch_drains == 0 ? 0.0
+                               : double(batch_strands) / double(batch_drains);
+    }
   };
   Snapshot snapshot() const {
     return {raw_reads.load(),         raw_writes.load(),
             read_intervals.load(),    write_intervals.load(),
             fastpath_accesses.load(), fastpath_hits.load(),
             slowpath_accesses.load(), memo_queries.load(),
-            memo_hits.load(),         strands.load(),
+            memo_hits.load(),         bulk_runs.load(),
+            bulk_run_intervals.load(), batch_drains.load(),
+            batch_strands.load(),     prefetch_issues.load(),
+            deep_backoffs.load(),     strands.load(),
             traces.load(),            steals.load(),
             reach_queries.load(),     stalled_pushes.load(),
             backoff_pauses.load(),    dropped_strands.load(),

@@ -72,6 +72,7 @@ class AccessBuffer {
   /// buffer is left exactly as recorded (ablation mode: every access becomes
   /// its own access-history operation, modulo the tail fast path).
   void finalize(bool coalesce = true) {
+    canonical_ = coalesce || items_.size() <= 1;
     if (!coalesce || items_.size() <= 1) return;
     std::sort(items_.begin(), items_.end(),
               [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
@@ -89,10 +90,20 @@ class AccessBuffer {
   const std::vector<Interval>& items() const { return items_; }
   bool empty() const { return items_.empty(); }
   std::size_t raw_count() const { return items_.size(); }
-  void clear() { items_.clear(); }
+  void clear() {
+    items_.clear();
+    canonical_ = false;
+  }
+
+  /// True after finalize() left items() sorted and pairwise disjoint - the
+  /// precondition of the history stores' bulk *_run apply.  False until the
+  /// buffer is finalized, and after a coalesce-off (raw order) finalize with
+  /// more than one interval.
+  bool canonical() const { return canonical_; }
 
  private:
   std::vector<Interval> items_;
+  bool canonical_ = false;
 };
 
 inline addr_t addr_of(const void* p) {

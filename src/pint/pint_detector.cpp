@@ -30,6 +30,29 @@ std::uint64_t subseed(std::uint64_t seed, std::uint64_t salt) {
 // error sink rather than a silent hang).
 constexpr std::uint64_t kAllocWaitNs = 10ull * 1000 * 1000 * 1000;
 
+// Consumer-lane batch size: strands processed per head snapshot before the
+// deferred RECYCLE decrements, cursor publication, and heartbeat run
+// (DESIGN.md §10).  Small enough that the watchdog still sees beats from a
+// merely-slow lane, big enough to amortize the per-strand acq_rel RMW and
+// the two heartbeat stores.
+constexpr std::uint64_t kConsumeBatch = 32;
+
+// Software prefetch of the next strand's record chunks while the current
+// one is processed: the strand header plus the interval arrays its history
+// ops will walk.  Advisory only - correctness never depends on it; the
+// strand was published before the head store the caller snapshotted.
+inline void prefetch_strand_records(const Strand* s) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(static_cast<const void*>(s), 0, 3);
+  const auto& reads = s->reads.items();
+  if (!reads.empty()) __builtin_prefetch(reads.data(), 0, 2);
+  const auto& writes = s->writes.items();
+  if (!writes.empty()) __builtin_prefetch(writes.data(), 0, 2);
+#else
+  (void)s;
+#endif
+}
+
 // Emergency-reserve sizes (per detector), carved out at construction while
 // memory is still available.  Sized for the transient burst between an
 // allocation failure and the pipeline drain catching up: a spawn allocates
@@ -703,6 +726,9 @@ void PintDetector::writer_loop() {
       progress |= collect_from(*ws, &drained);
       all_drained &= drained;
     }
+    // Reclaim once per scan - batch granularity matching the consumers'
+    // batched cursor publication (each scan collects up to kBatch strands
+    // per worker, so both ends of the ring amortize their atomics).
     queue_.reclaim([this](Strand* d) { recycle_strand(d); });
     if (done_before_scan && all_drained) break;
     if (progress) {
@@ -726,6 +752,7 @@ template <class ProcessFn>
 void PintDetector::consume_loop(ConsumerLane& lane, ProcessFn&& process) {
   queue_.register_consumer();
   std::uint64_t cursor = 0;
+  std::uint64_t batches = 0, drained = 0, prefetches = 0;
   Backoff bo;
   for (;;) {
     const std::uint64_t h = queue_.head();
@@ -741,20 +768,44 @@ void PintDetector::consume_loop(ConsumerLane& lane, ProcessFn&& process) {
     lane.hb.set_idle(false);
     bo.reset();
     while (cursor < h) {
-      // Injection point for consumer stalls: with a delay-mode fail point
-      // configured, this sleeps mid-processing while the lane is BUSY,
-      // which is exactly the shape the watchdog exists to catch.
-      (void)PINT_FAILPOINT("reader.stall");
-      Strand* s = queue_.at(cursor);
-      process(s);
-      s->consumers.fetch_sub(1, std::memory_order_acq_rel);
-      ++cursor;
+      // Batched drain (DESIGN.md §10): process up to kConsumeBatch strands
+      // per head snapshot, prefetching the next strand's records behind the
+      // current one, then retire the whole batch - the RECYCLE decrement,
+      // cursor publication, and heartbeat move from per-strand to per-batch.
+      const std::uint64_t end =
+          h - cursor > kConsumeBatch ? cursor + kConsumeBatch : h;
+      for (std::uint64_t i = cursor; i < end; ++i) {
+        // Injection point for consumer stalls: with a delay-mode fail point
+        // configured, this sleeps mid-processing while the lane is BUSY,
+        // which is exactly the shape the watchdog exists to catch.
+        (void)PINT_FAILPOINT("reader.stall");
+        if (i + 1 < end) {
+          prefetch_strand_records(queue_.at(i + 1));
+          ++prefetches;
+        }
+        process(queue_.at(i));
+      }
+      // Deferred RECYCLE handoffs: each strand's last use above is still
+      // sequenced before its own fetch_sub, so the release/acquire pairing
+      // with AhQueue::reclaim() is unchanged - recycling is merely delayed,
+      // and never by more than kConsumeBatch strands.
+      for (std::uint64_t i = cursor; i < end; ++i) {
+        queue_.at(i)->consumers.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      drained += end - cursor;
+      ++batches;
+      cursor = end;
       lane.cursor.store(cursor, std::memory_order_relaxed);
       lane.hb.beat();
     }
   }
   lane.hb.set_idle(true);
   queue_.unregister_consumer();
+  // Local tallies folded once per lane at exit; run() joins this thread
+  // before snapshotting (Stats quiescence contract).
+  stats_.batch_drains.fetch_add(batches, std::memory_order_relaxed);
+  stats_.batch_strands.fetch_add(drained, std::memory_order_relaxed);
+  stats_.prefetch_issues.fetch_add(prefetches, std::memory_order_relaxed);
 }
 
 void PintDetector::reader_loop(ReaderSide side) {
@@ -952,6 +1003,10 @@ RunResult PintDetector::run(std::function<void()> fn) {
   }
 
   detect::set_active_detector(this);
+  // Deep-backoff attribution: the counter is process-wide, so record the
+  // run's share as a delta (concurrent detector runs would blur it - fine
+  // for a monitoring counter).
+  const std::uint64_t deep_backoffs_at_start = Backoff::deep_entries();
   Timer total;
 
   std::thread writer;
@@ -1074,6 +1129,20 @@ RunResult PintDetector::run(std::function<void()> fn) {
   }
   stats_.memo_queries.fetch_add(mq);
   stats_.memo_hits.fetch_add(mh);
+  stats_.deep_backoffs.fetch_add(Backoff::deep_entries() -
+                                 deep_backoffs_at_start);
+  telem::count("history.bulk.runs",
+               stats_.bulk_runs.load(std::memory_order_relaxed));
+  telem::count("history.bulk.intervals",
+               stats_.bulk_run_intervals.load(std::memory_order_relaxed));
+  telem::count("queue.batch.drains",
+               stats_.batch_drains.load(std::memory_order_relaxed));
+  telem::count("queue.batch.strands",
+               stats_.batch_strands.load(std::memory_order_relaxed));
+  telem::count("queue.prefetch.issues",
+               stats_.prefetch_issues.load(std::memory_order_relaxed));
+  telem::count("backoff.deep.entries",
+               stats_.deep_backoffs.load(std::memory_order_relaxed));
   telem::count("access.fastpath.total",
                stats_.fastpath_accesses.load(std::memory_order_relaxed));
   telem::count("access.fastpath.hits",

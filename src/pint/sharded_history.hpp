@@ -19,6 +19,7 @@
 // it spans (still ~8000x coarser than per-granule work).
 
 #include <cstdint>
+#include <vector>
 
 #include "detect/history.hpp"
 #include "support/assert.hpp"
@@ -72,54 +73,126 @@ struct HistoryShard {
   /// writes checked against all three stores then inserted, clears/frees
   /// erased) - the same order as the three dedicated workers use, restricted
   /// to this shard's stripes.
+  ///
+  /// Bulk path (DESIGN.md §10): a canonical record list's shard pieces -
+  /// sorted pieces of sorted disjoint intervals - form one sorted disjoint
+  /// run, so each store takes ONE *_run call per phase instead of one
+  /// operation per piece.  The race-report SET is unchanged (queries don't
+  /// mutate and the per-store event sequences are identical); only the
+  /// interleaving of the three stores' reports within a strand moves.
   void process(const detect::Strand& s, int shard, int nshards,
                reach::Engine& reach, detect::RaceReporter& rep,
                detect::Stats& stats) {
     using detect::ReaderSide;
     const treap::Accessor me = detect::accessor_of(s);
+    const bool bulk = detect::bulk_apply();
 
-    for (const detect::Interval& r : s.reads.items()) {
-      for_shard_pieces(r.lo, r.hi, shard, nshards, [&](auto lo, auto hi) {
-        writer.query(lo, hi, detect::make_conflict_cb(me, true, false, reach,
-                                                      rep, stats, &memo));
-      });
+    if (bulk && s.reads.canonical()) {
+      gather_pieces(s.reads.items(), shard, nshards);
+      if (!run_buf_.empty()) {
+        detect::note_bulk_run(stats, run_buf_.size());
+        writer.query_run(run_buf_.data(), run_buf_.size(),
+                         detect::make_conflict_cb(me, true, false, reach, rep,
+                                                  stats, &memo));
+      }
+    } else {
+      for (const detect::Interval& r : s.reads.items()) {
+        for_shard_pieces(r.lo, r.hi, shard, nshards, [&](auto lo, auto hi) {
+          writer.query(lo, hi, detect::make_conflict_cb(me, true, false, reach,
+                                                        rep, stats, &memo));
+        });
+      }
     }
-    for (const detect::Interval& w : s.writes.items()) {
-      for_shard_pieces(w.lo, w.hi, shard, nshards, [&](auto lo, auto hi) {
-        lreader.query(lo, hi, detect::make_conflict_cb(me, false, true, reach,
-                                                       rep, stats, &memo));
-        rreader.query(lo, hi, detect::make_conflict_cb(me, false, true, reach,
-                                                       rep, stats, &memo));
-        writer.insert_writer(lo, hi, me,
-                             detect::make_conflict_cb(me, true, true, reach,
-                                                      rep, stats, &memo));
-      });
+    if (bulk && s.writes.canonical()) {
+      gather_pieces(s.writes.items(), shard, nshards);
+      if (!run_buf_.empty()) {
+        detect::note_bulk_run(stats, run_buf_.size() * 3);
+        lreader.query_run(run_buf_.data(), run_buf_.size(),
+                          detect::make_conflict_cb(me, false, true, reach, rep,
+                                                   stats, &memo));
+        rreader.query_run(run_buf_.data(), run_buf_.size(),
+                          detect::make_conflict_cb(me, false, true, reach, rep,
+                                                   stats, &memo));
+        writer.insert_writer_run(run_buf_.data(), run_buf_.size(), me,
+                                 detect::make_conflict_cb(me, true, true, reach,
+                                                          rep, stats, &memo));
+      }
+    } else {
+      for (const detect::Interval& w : s.writes.items()) {
+        for_shard_pieces(w.lo, w.hi, shard, nshards, [&](auto lo, auto hi) {
+          lreader.query(lo, hi, detect::make_conflict_cb(me, false, true, reach,
+                                                         rep, stats, &memo));
+          rreader.query(lo, hi, detect::make_conflict_cb(me, false, true, reach,
+                                                         rep, stats, &memo));
+          writer.insert_writer(lo, hi, me,
+                               detect::make_conflict_cb(me, true, true, reach,
+                                                        rep, stats, &memo));
+        });
+      }
     }
     const auto lresolve = detect::make_reader_resolver(
         me, reach, stats, ReaderSide::kLeftMost, &memo);
     const auto rresolve = detect::make_reader_resolver(
         me, reach, stats, ReaderSide::kRightMost, &memo);
-    for (const detect::Interval& r : s.reads.items()) {
-      for_shard_pieces(r.lo, r.hi, shard, nshards, [&](auto lo, auto hi) {
-        lreader.insert_reader(lo, hi, me, lresolve);
-        rreader.insert_reader(lo, hi, me, rresolve);
-      });
+    if (bulk && s.reads.canonical()) {
+      gather_pieces(s.reads.items(), shard, nshards);
+      if (!run_buf_.empty()) {
+        detect::note_bulk_run(stats, run_buf_.size() * 2);
+        lreader.insert_reader_run(run_buf_.data(), run_buf_.size(), me,
+                                  lresolve);
+        rreader.insert_reader_run(run_buf_.data(), run_buf_.size(), me,
+                                  rresolve);
+      }
+    } else {
+      for (const detect::Interval& r : s.reads.items()) {
+        for_shard_pieces(r.lo, r.hi, shard, nshards, [&](auto lo, auto hi) {
+          lreader.insert_reader(lo, hi, me, lresolve);
+          rreader.insert_reader(lo, hi, me, rresolve);
+        });
+      }
     }
-    for (const detect::Interval& c : s.clears) {
-      for_shard_pieces(c.lo, c.hi, shard, nshards, [&](auto lo, auto hi) {
-        writer.erase_range(lo, hi);
-        lreader.erase_range(lo, hi);
-        rreader.erase_range(lo, hi);
-      });
-    }
-    for (const detect::HeapFree& f : s.frees) {
-      for_shard_pieces(f.lo, f.hi, shard, nshards, [&](auto lo, auto hi) {
-        writer.erase_range(lo, hi);
-        lreader.erase_range(lo, hi);
-        rreader.erase_range(lo, hi);
+    // One interval's shard pieces are always a sorted disjoint run, so the
+    // clears/frees (arbitrary-order lists) erase one run per interval.
+    for (const detect::Interval& c : s.clears) erase_pieces(c.lo, c.hi, shard, nshards, bulk);
+    for (const detect::HeapFree& f : s.frees) erase_pieces(f.lo, f.hi, shard, nshards, bulk);
+  }
+
+ private:
+  /// Collects this shard's pieces of every interval in the (canonical) list
+  /// into run_buf_.  Piece order within an interval is ascending and the
+  /// intervals are sorted and disjoint, so the concatenation is one sorted
+  /// disjoint run.
+  template <class List>
+  void gather_pieces(const List& items, int shard, int nshards) {
+    run_buf_.clear();
+    for (const auto& it : items) {
+      for_shard_pieces(it.lo, it.hi, shard, nshards, [&](auto lo, auto hi) {
+        run_buf_.push_back({lo, hi});
       });
     }
   }
+
+  void erase_pieces(detect::addr_t lo, detect::addr_t hi, int shard,
+                    int nshards, bool bulk) {
+    if (bulk) {
+      run_buf_.clear();
+      for_shard_pieces(lo, hi, shard, nshards, [&](auto plo, auto phi) {
+        run_buf_.push_back({plo, phi});
+      });
+      if (run_buf_.empty()) return;
+      writer.erase_run(run_buf_.data(), run_buf_.size());
+      lreader.erase_run(run_buf_.data(), run_buf_.size());
+      rreader.erase_run(run_buf_.data(), run_buf_.size());
+    } else {
+      for_shard_pieces(lo, hi, shard, nshards, [&](auto plo, auto phi) {
+        writer.erase_range(plo, phi);
+        lreader.erase_range(plo, phi);
+        rreader.erase_range(plo, phi);
+      });
+    }
+  }
+
+  std::vector<detect::Interval> run_buf_;  // shard-worker private scratch
 };
 
 }  // namespace pint::pintd

@@ -234,6 +234,12 @@ detect::RunResult StintDetector::run(std::function<void()> fn) {
   telem::count("access.slowpath.total", slow_accesses_);
   telem::count("reach.memo.queries", mq);
   telem::count("reach.memo.hits", mh);
+  // Bulk-run counters accumulate live in process_strand (fetch_add, never
+  // overwritten here); STINT has no consumer lanes, so only these two.
+  telem::count("history.bulk.runs",
+               stats_.bulk_runs.load(std::memory_order_relaxed));
+  telem::count("history.bulk.intervals",
+               stats_.bulk_run_intervals.load(std::memory_order_relaxed));
   stats_.writer_ns.store(writer_watch_.total_ns());
   stats_.lreader_ns.store(reader_watch_.total_ns());
   stats_.core_ns.store(total.elapsed_ns() - writer_watch_.total_ns() -

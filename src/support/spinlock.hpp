@@ -8,6 +8,8 @@
 // that policy.
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <thread>
 
 namespace pint {
@@ -20,21 +22,43 @@ inline void cpu_relax() {
 #endif
 }
 
-/// Exponential-ish backoff: pause a few times, then yield to the OS.
+/// Process-wide count of Backoff waits that reached the bounded-sleep tier
+/// (relaxed: a monitoring counter, never synchronizes anything).  Detectors
+/// attribute the delta across a run to Stats::deep_backoffs.
+inline std::atomic<std::uint64_t> g_deep_backoff_entries{0};
+
+/// Three-tier backoff: exponential cpu_relax, then sched-yield, then a
+/// bounded sleep.  The sleep tier keeps idle history lanes from burning a
+/// full core on oversubscribed machines while capping the wake-up latency a
+/// sleeping waiter can add (kSleepUs per pause).
 class Backoff {
  public:
   void pause() {
     if (count_ < kSpinLimit) {
       for (int i = 0; i < (1 << count_); ++i) cpu_relax();
       ++count_;
-    } else {
+    } else if (count_ < kSpinLimit + kYieldLimit) {
       std::this_thread::yield();
+      ++count_;
+    } else {
+      if (count_ == kSpinLimit + kYieldLimit) {
+        ++count_;  // saturate: one deep entry per reset cycle
+        g_deep_backoff_entries.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(kSleepUs));
     }
   }
   void reset() { count_ = 0; }
 
+  /// Cumulative deep-tier entries since process start.
+  static std::uint64_t deep_entries() {
+    return g_deep_backoff_entries.load(std::memory_order_relaxed);
+  }
+
  private:
-  static constexpr int kSpinLimit = 6;
+  static constexpr int kSpinLimit = 6;    // exponential cpu_relax phase
+  static constexpr int kYieldLimit = 64;  // yield phase before sleeping
+  static constexpr int kSleepUs = 100;    // bounded nap per deep pause
   int count_ = 0;
 };
 

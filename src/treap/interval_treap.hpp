@@ -79,13 +79,18 @@ class IntervalTreap {
     // Build the winner cover of [lo, hi] in address order.
     pieces_out_.clear();
     addr_t cursor = lo;
+    bool covered_to_hi = false;
     for (const Piece& p : scratch_) {
       if (p.lo > cursor) push_piece(cursor, p.lo - 1, a);
       const Accessor& w = resolve(p.who, a) ? a : p.who;
       push_piece(p.lo, p.hi, w);
+      if (p.hi == hi) {  // avoids the hi+1 wrap when hi == kMaxAddr
+        covered_to_hi = true;
+        break;
+      }
       cursor = p.hi + 1;
     }
-    if (cursor <= hi) push_piece(cursor, hi, a);
+    if (!covered_to_hi && cursor <= hi) push_piece(cursor, hi, a);
     Node* mid = nullptr;
     for (const Piece& p : pieces_out_) mid = merge(mid, make_node(p.lo, p.hi, p.who));
     root_ = merge(merge(left, mid), right);
@@ -96,6 +101,151 @@ class IntervalTreap {
     Node *left, *right;
     carve(lo, hi, &left, &right);
     root_ = merge(left, right);
+  }
+
+  // --- Bulk sorted-run apply (DESIGN.md §10) -------------------------------
+  //
+  // Each *_run operation takes a run of k intervals - sorted by lo, pairwise
+  // non-overlapping (adjacency allowed), all owned by one accessor, exactly
+  // the shape of a finalized strand record list - and applies it in ONE
+  // left-to-right carve of the run's span instead of k independent root
+  // walks: O(k + m + log n) amortized, where m is the stored coverage inside
+  // the span.  The per-overlapped-segment callback/resolver sequence is
+  // identical to the per-interval loop: stored segments are disjoint and the
+  // run intervals are disjoint and sorted, so ordering events by (interval,
+  // segment.lo) - the per-interval loop - and by (segment.lo, interval) -
+  // the sweep below - yields the same sequence.  Gap coverage between run
+  // intervals is preserved with its original owner (possibly re-keyed nodes,
+  // never changed contents).
+
+  /// Run query: cb(seg_lo, seg_hi, accessor) for every stored segment part
+  /// overlapping each interval, in the per-interval loop's order.
+  template <class Iv, class F>
+  void query_run(const Iv* iv, std::size_t k, F&& cb) const {
+    if (k == 0) return;
+    if (k == 1) {
+      query(iv[0].lo, iv[0].hi, cb);
+      return;
+    }
+    assert_run_sorted(iv, k);
+    std::size_t j = 0;  // first interval that can still overlap a segment
+    auto join = [&](addr_t lo, addr_t hi, const Accessor& who) {
+      while (j < k && iv[j].hi < lo) ++j;
+      for (std::size_t x = j; x < k && iv[x].lo <= hi; ++x) {
+        cb(iv[x].lo > lo ? iv[x].lo : lo, iv[x].hi < hi ? iv[x].hi : hi, who);
+      }
+    };
+    query_rec(root_, iv[0].lo, iv[k - 1].hi, join);
+  }
+
+  /// Run writer insert: per overlapped segment part cb(lo, hi, prev), then
+  /// every interval of the run is owned by `a`.
+  template <class Iv, class F>
+  void insert_writer_run(const Iv* iv, std::size_t k, const Accessor& a,
+                         F&& cb) {
+    if (k == 0) return;
+    if (k == 1) {
+      insert_writer(iv[0].lo, iv[0].hi, a, cb);
+      return;
+    }
+    assert_run_sorted(iv, k);
+    Node *left, *right;
+    carve(iv[0].lo, iv[k - 1].hi, &left, &right);
+    pieces_out_.clear();
+    std::size_t si = 0;
+    addr_t seg_lo = scratch_.empty() ? 0 : scratch_[0].lo;
+    for (std::size_t j = 0; j < k; ++j) {
+      const addr_t lo = iv[j].lo, hi = iv[j].hi;
+      sweep_keep_before(lo, &si, &seg_lo);
+      while (si < scratch_.size() && seg_lo <= hi) {
+        const Piece& p = scratch_[si];
+        cb(seg_lo, p.hi < hi ? p.hi : hi, p.who);
+        if (p.hi > hi) {  // segment continues into the gap after iv[j]
+          seg_lo = hi + 1;
+          break;
+        }
+        ++si;
+        if (si < scratch_.size()) seg_lo = scratch_[si].lo;
+      }
+      pieces_out_.push_back({lo, hi, a});
+    }
+    PINT_ASSERT(si == scratch_.size());  // span ends at iv[k-1].hi
+    root_ = merge(merge(left, build_sorted()), right);
+  }
+
+  /// Run reader insert: same winner rule as insert_reader per interval;
+  /// winner coalescing never crosses an interval boundary (so the final
+  /// contents match k separate insert_reader calls exactly).
+  template <class Iv, class R>
+  void insert_reader_run(const Iv* iv, std::size_t k, const Accessor& a,
+                         R&& resolve) {
+    if (k == 0) return;
+    if (k == 1) {
+      insert_reader(iv[0].lo, iv[0].hi, a, resolve);
+      return;
+    }
+    assert_run_sorted(iv, k);
+    Node *left, *right;
+    carve(iv[0].lo, iv[k - 1].hi, &left, &right);
+    pieces_out_.clear();
+    std::size_t si = 0;
+    addr_t seg_lo = scratch_.empty() ? 0 : scratch_[0].lo;
+    for (std::size_t j = 0; j < k; ++j) {
+      const addr_t lo = iv[j].lo, hi = iv[j].hi;
+      sweep_keep_before(lo, &si, &seg_lo);
+      const std::size_t mark = pieces_out_.size();
+      addr_t cursor = lo;
+      bool covered_to_hi = false;
+      while (si < scratch_.size() && seg_lo <= hi) {
+        const Piece& p = scratch_[si];
+        const addr_t phi = p.hi < hi ? p.hi : hi;
+        if (seg_lo > cursor) push_piece_from(mark, cursor, seg_lo - 1, a);
+        const Accessor& w = resolve(p.who, a) ? a : p.who;
+        push_piece_from(mark, seg_lo, phi, w);
+        if (phi == hi) covered_to_hi = true;  // avoids the hi+1 wrap below
+        if (p.hi > hi) {
+          seg_lo = hi + 1;
+          break;
+        }
+        ++si;
+        if (si < scratch_.size()) seg_lo = scratch_[si].lo;
+        if (covered_to_hi) break;
+        cursor = phi + 1;
+      }
+      if (!covered_to_hi && cursor <= hi) push_piece_from(mark, cursor, hi, a);
+    }
+    PINT_ASSERT(si == scratch_.size());
+    root_ = merge(merge(left, build_sorted()), right);
+  }
+
+  /// Run erase: clears every interval of the run; gap coverage survives.
+  template <class Iv>
+  void erase_run(const Iv* iv, std::size_t k) {
+    if (k == 0) return;
+    if (k == 1) {
+      erase_range(iv[0].lo, iv[0].hi);
+      return;
+    }
+    assert_run_sorted(iv, k);
+    Node *left, *right;
+    carve(iv[0].lo, iv[k - 1].hi, &left, &right);
+    pieces_out_.clear();
+    std::size_t si = 0;
+    addr_t seg_lo = scratch_.empty() ? 0 : scratch_[0].lo;
+    for (std::size_t j = 0; j < k; ++j) {
+      const addr_t hi = iv[j].hi;
+      sweep_keep_before(iv[j].lo, &si, &seg_lo);
+      while (si < scratch_.size() && seg_lo <= hi) {  // drop covered parts
+        if (scratch_[si].hi > hi) {
+          seg_lo = hi + 1;
+          break;
+        }
+        ++si;
+        if (si < scratch_.size()) seg_lo = scratch_[si].lo;
+      }
+    }
+    PINT_ASSERT(si == scratch_.size());
+    root_ = merge(merge(left, build_sorted()), right);
   }
 
   bool empty() const { return root_ == nullptr; }
@@ -160,12 +310,69 @@ class IntervalTreap {
   }
 
   void push_piece(addr_t lo, addr_t hi, const Accessor& w) {
-    if (!pieces_out_.empty() && pieces_out_.back().who.sid == w.sid &&
+    push_piece_from(0, lo, hi, w);
+  }
+
+  /// push_piece whose coalescing never reaches below index `floor`: the run
+  /// paths set floor to the current interval's first piece, so coalescing
+  /// stays within one interval (bit-identical to per-interval inserts).
+  void push_piece_from(std::size_t floor, addr_t lo, addr_t hi,
+                       const Accessor& w) {
+    if (pieces_out_.size() > floor && pieces_out_.back().who.sid == w.sid &&
         pieces_out_.back().hi + 1 == lo) {
       pieces_out_.back().hi = hi;  // coalesce same-winner neighbours
     } else {
       pieces_out_.push_back({lo, hi, w});
     }
+  }
+
+  template <class Iv>
+  static void assert_run_sorted(const Iv* iv, std::size_t k) {
+#ifndef NDEBUG
+    for (std::size_t j = 0; j < k; ++j) {
+      PINT_ASSERT(iv[j].lo <= iv[j].hi);
+      if (j > 0) PINT_ASSERT(iv[j - 1].hi < iv[j].lo);
+    }
+#else
+    (void)iv;
+    (void)k;
+#endif
+  }
+
+  /// Run-sweep helper: emits keep pieces (original owner, no coalescing -
+  /// they were distinct nodes and must stay distinct) for stored coverage
+  /// strictly before `lo`.  *si / *seg_lo are the sweep frontier: the
+  /// current scratch_ segment and the first not-yet-consumed byte in it.
+  void sweep_keep_before(addr_t lo, std::size_t* si, addr_t* seg_lo) {
+    while (*si < scratch_.size() && scratch_[*si].hi < lo) {
+      pieces_out_.push_back({*seg_lo, scratch_[*si].hi, scratch_[*si].who});
+      ++*si;
+      if (*si < scratch_.size()) *seg_lo = scratch_[*si].lo;
+    }
+    if (*si < scratch_.size() && *seg_lo < lo) {
+      pieces_out_.push_back({*seg_lo, lo - 1, scratch_[*si].who});
+      *seg_lo = lo;
+    }
+  }
+
+  /// Builds a treap from the sorted, disjoint pieces_out_ in O(m) with a
+  /// monotonic right-spine stack.  The tie rule (pop only on strictly
+  /// greater priority) matches merge()'s `a->prio >= b->prio`, so heap_ok's
+  /// strict check holds.
+  Node* build_sorted() {
+    spine_.clear();
+    for (const Piece& p : pieces_out_) {
+      Node* n = make_node(p.lo, p.hi, p.who);
+      Node* last_popped = nullptr;
+      while (!spine_.empty() && spine_.back()->prio < n->prio) {
+        last_popped = spine_.back();
+        spine_.pop_back();
+      }
+      n->l = last_popped;
+      if (!spine_.empty()) spine_.back()->r = n;
+      spine_.push_back(n);
+    }
+    return spine_.empty() ? nullptr : spine_.front();
   }
 
   /// Splits by key: a = nodes with node.lo < k, b = the rest.
@@ -303,6 +510,7 @@ class IntervalTreap {
   std::size_t used_ = kChunk;
   std::vector<Piece> scratch_;
   std::vector<Piece> pieces_out_;
+  std::vector<Node*> spine_;  // build_sorted() right spine
 };
 
 }  // namespace pint::treap
