@@ -262,7 +262,7 @@ Row bench_reader(const char* name, std::uint64_t gap) {
     *s += t.size();
   }, &sink);
   std::printf("# sink=%llu\n", (unsigned long long)sink);
-  return {name, per_rec, bulk, false};
+  return {name, per_rec, bulk, true};
 }
 
 Row bench_erase(const char* name, std::uint64_t gap) {
@@ -281,7 +281,7 @@ Row bench_erase(const char* name, std::uint64_t gap) {
     *s += t.size();
   }, &sink);
   std::printf("# sink=%llu\n", (unsigned long long)sink);
-  return {name, per_rec, bulk, false};
+  return {name, per_rec, bulk, true};
 }
 
 int run_bulk_bench(const std::string& json_path) {

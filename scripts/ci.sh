@@ -18,6 +18,11 @@
 #                            # fig1_overview run
 #   scripts/ci.sh bulkapply  # bulk-run equivalence suite (ctest -L
 #                            # bulkapply) in the plain AND the TSan builds
+#   scripts/ci.sh perfgate   # perf-regression gate: re-runs both micro
+#                            # benches and fails on a >10% geomean
+#                            # regression vs the committed BENCH_*.json, or
+#                            # any enforced treap row under its bar
+#                            # (scripts/perfgate.py via ctest -L perfgate)
 #
 # Each lane builds into its own directory (build/, build-tsan/, build-asan/,
 # build-notelem/) so switching lanes never churns another lane's objects.  A
@@ -30,7 +35,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 LANES=("$@")
 if [ ${#LANES[@]} -eq 0 ]; then
-  LANES=(tier1 tsan asan faults telemetry perf bulkapply)
+  LANES=(tier1 tsan asan faults telemetry perf bulkapply perfgate)
 fi
 
 build_dir() {
@@ -111,6 +116,14 @@ run_lane() {
       # detector that silently stopped taking the fast path in the full
       # harness (the run aborts on verification failure or false races).
       ./build/bench/fig1_overview --kernel mmul --scale 0.25 --reps 1
+      return
+      ;;
+    perfgate)
+      echo "=== lane: perfgate (build dir: build) ==="
+      cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DPINT_SAN="" \
+        -DPINT_PERFGATE=ON
+      cmake --build build -j "$JOBS"
+      (cd build && ctest --output-on-failure -L perfgate)
       return
       ;;
     *) echo "unknown lane: $lane" >&2; exit 2 ;;

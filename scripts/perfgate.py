@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the committed micro-bench snapshots.
+
+Runs (or is given) fresh bench/micro_access and bench/micro_treap JSONs and
+compares them against the committed BENCH_access.json / BENCH_treap.json
+(DESIGN.md section 11.4).  Fails when:
+
+  * the access lane's geomean detection overhead regressed by more than
+    --tolerance (default 10%) against the committed snapshot, compared on
+    "geomean_overhead_3kernel" - the {mmul, heat, sort} subset older
+    snapshots measured - so the gate compares like with like across the
+    switch to the seven-kernel sweep (falls back to "geomean_overhead"
+    when a snapshot predates the split);
+  * any treap row marked "enforced" in the committed snapshot has a fresh
+    per-record speedup below the committed "speedup_bar".
+
+The in-binary acceptance bars (cursor >= 3x, sort cursor rate > 0.5, heat
+memo rate > 0.5, enforced treap rows >= bar on their own fresh numbers)
+already make the benches themselves exit non-zero; this script adds only
+the against-the-committed-baseline comparison.
+
+Usage:
+  scripts/perfgate.py --bench-dir build/bench             # run benches
+  scripts/perfgate.py --fresh-access a.json --fresh-treap t.json
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def geomean_key(snap):
+    """The overhead figure comparable across snapshot generations."""
+    if "geomean_overhead_3kernel" in snap:
+        return snap["geomean_overhead_3kernel"], "geomean_overhead_3kernel"
+    return snap["geomean_overhead"], "geomean_overhead"
+
+
+def gate_access(baseline, fresh, tolerance):
+    base, bkey = geomean_key(baseline)
+    cur, fkey = geomean_key(fresh)
+    ratio = cur / base if base > 0 else float("inf")
+    line = (f"access geomean overhead: committed {base:.3f} ({bkey}) vs "
+            f"fresh {cur:.3f} ({fkey}) -> ratio {ratio:.3f}")
+    if ratio > 1.0 + tolerance:
+        return [f"FAIL {line} exceeds 1 + {tolerance:.2f}"]
+    print(f"ok   {line}")
+    return []
+
+
+def gate_treap(baseline, fresh):
+    bar = baseline.get("speedup_bar", 2.0)
+    fresh_rows = {r["name"]: r for r in fresh["rows"]}
+    failures = []
+    for row in baseline["rows"]:
+        if not row.get("enforced", False):
+            continue
+        name = row["name"]
+        fr = fresh_rows.get(name)
+        if fr is None:
+            failures.append(f"FAIL treap row '{name}' missing from fresh run")
+            continue
+        line = (f"treap {name}: fresh speedup {fr['speedup']:.2f} "
+                f"(committed {row['speedup']:.2f}, bar {bar:.2f})")
+        if fr["speedup"] < bar:
+            failures.append(f"FAIL {line}")
+        else:
+            print(f"ok   {line}")
+    return failures
+
+
+def run_bench(bench_dir, exe, args, out):
+    cmd = [os.path.join(bench_dir, exe)] + args + [out]
+    print("+ " + " ".join(cmd), flush=True)
+    subprocess.run(cmd, check=True, cwd=REPO, stdout=subprocess.DEVNULL)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench-dir",
+                    help="directory holding micro_access/micro_treap; when "
+                         "given, the benches are run into a temp dir")
+    ap.add_argument("--fresh-access", help="pre-made fresh micro_access JSON")
+    ap.add_argument("--fresh-treap", help="pre-made fresh micro_treap JSON")
+    ap.add_argument("--baseline-access",
+                    default=os.path.join(REPO, "BENCH_access.json"))
+    ap.add_argument("--baseline-treap",
+                    default=os.path.join(REPO, "BENCH_treap.json"))
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional geomean regression (default .10)")
+    opts = ap.parse_args()
+
+    tmp = None
+    if opts.bench_dir:
+        tmp = tempfile.mkdtemp(prefix="perfgate.")
+        opts.fresh_access = os.path.join(tmp, "access.json")
+        opts.fresh_treap = os.path.join(tmp, "treap.json")
+        run_bench(opts.bench_dir, "micro_access", ["--json"],
+                  opts.fresh_access)
+        run_bench(opts.bench_dir, "micro_treap", ["--bulk-json"],
+                  opts.fresh_treap)
+    if not opts.fresh_access or not opts.fresh_treap:
+        ap.error("need --bench-dir or both --fresh-access and --fresh-treap")
+
+    with open(opts.baseline_access) as f:
+        base_access = json.load(f)
+    with open(opts.fresh_access) as f:
+        fresh_access = json.load(f)
+    with open(opts.baseline_treap) as f:
+        base_treap = json.load(f)
+    with open(opts.fresh_treap) as f:
+        fresh_treap = json.load(f)
+
+    failures = gate_access(base_access, fresh_access, opts.tolerance)
+    failures += gate_treap(base_treap, fresh_treap)
+    for line in failures:
+        print(line, file=sys.stderr)
+    if failures:
+        sys.exit(1)
+    print("perfgate: no regression against committed baselines")
+
+
+if __name__ == "__main__":
+    main()

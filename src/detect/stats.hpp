@@ -16,14 +16,23 @@ struct Stats {
   std::atomic<std::uint64_t> read_intervals{0};
   std::atomic<std::uint64_t> write_intervals{0};
 
-  // Hot-path effectiveness (DESIGN.md §9).  fastpath_accesses counts raw
-  // accesses recorded through the thread-local AccessCursor; fastpath_hits
-  // the subset absorbed by its inline extension caches (no AccessBuffer
-  // touch at all); slowpath_accesses those that took the classic
-  // detector-load + virtual-dispatch route.  memo_queries/memo_hits are the
-  // history workers' precedes() memo-cache totals.
+  // Hot-path effectiveness (DESIGN.md §9/§11).  fastpath_accesses counts
+  // raw accesses recorded through the thread-local AccessCursor;
+  // fastpath_hits the subset absorbed in cursor storage (open interval +
+  // pending ring - no per-access AccessBuffer touch; the bounded
+  // end-of-strand drain is the hand-off, not a miss); cursor_spills the
+  // complement (ring overflow / bypass / ablation add_raw events);
+  // slowpath_accesses those that took the classic detector-load +
+  // virtual-dispatch route.  policy_switches / policy_bypass expose the
+  // per-call-site adaptive policy: mode transitions taken and accesses
+  // routed by bypass-mode sites.  memo_queries/memo_hits are the history
+  // workers' SP-order coordinate-memo totals (a hit = all four label
+  // coordinates served from cache).
   std::atomic<std::uint64_t> fastpath_accesses{0};
   std::atomic<std::uint64_t> fastpath_hits{0};
+  std::atomic<std::uint64_t> cursor_spills{0};
+  std::atomic<std::uint64_t> policy_switches{0};
+  std::atomic<std::uint64_t> policy_bypass{0};
   std::atomic<std::uint64_t> slowpath_accesses{0};
   std::atomic<std::uint64_t> memo_queries{0};
   std::atomic<std::uint64_t> memo_hits{0};
@@ -78,6 +87,7 @@ struct Stats {
   void clear() {
     raw_reads = raw_writes = read_intervals = write_intervals = 0;
     fastpath_accesses = fastpath_hits = slowpath_accesses = 0;
+    cursor_spills = policy_switches = policy_bypass = 0;
     memo_queries = memo_hits = 0;
     bulk_runs = bulk_run_intervals = 0;
     batch_drains = batch_strands = prefetch_issues = deep_backoffs = 0;
@@ -91,6 +101,7 @@ struct Stats {
   struct Snapshot {
     std::uint64_t raw_reads, raw_writes, read_intervals, write_intervals;
     std::uint64_t fastpath_accesses, fastpath_hits, slowpath_accesses;
+    std::uint64_t cursor_spills, policy_switches, policy_bypass;
     std::uint64_t memo_queries, memo_hits;
     std::uint64_t bulk_runs, bulk_run_intervals;
     std::uint64_t batch_drains, batch_strands, prefetch_issues, deep_backoffs;
@@ -125,7 +136,9 @@ struct Stats {
     return {raw_reads.load(),         raw_writes.load(),
             read_intervals.load(),    write_intervals.load(),
             fastpath_accesses.load(), fastpath_hits.load(),
-            slowpath_accesses.load(), memo_queries.load(),
+            slowpath_accesses.load(), cursor_spills.load(),
+            policy_switches.load(),   policy_bypass.load(),
+            memo_queries.load(),
             memo_hits.load(),         bulk_runs.load(),
             bulk_run_intervals.load(), batch_drains.load(),
             batch_strands.load(),     prefetch_issues.load(),

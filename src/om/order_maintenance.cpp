@@ -108,6 +108,11 @@ Group* List::make_gap(Group* g, Item* x) {
   std::atomic_thread_fence(std::memory_order_release);
 
   Group* holder = g;
+  // Coordinates in g are about to be rewritten (either branch rewrites its
+  // subtags); publish the sublist-version bump before touching them so a
+  // coordinate cache can never validate a stale entry against the new
+  // layout.  Readers that race the window itself retry on the seqlock.
+  g->version.fetch_add(1, std::memory_order_relaxed);
   if (g->count >= kMaxGroupItems) {
     // Split: move the upper half of g into a fresh group placed right after
     // g in the top-level list.
@@ -179,6 +184,11 @@ void List::relabel_top() {
   for (Group* g = head_; g; g = g->next) ++n;
   const std::uint64_t spacing = kMaxTag / (n + 2);
   PINT_CHECK_MSG(spacing >= 2, "too many OM groups to relabel");
+  // Every group's tag changes, so every sublist's coordinate version must
+  // bump (before the tag stores, same reasoning as make_gap).
+  for (Group* g = head_; g; g = g->next) {
+    g->version.fetch_add(1, std::memory_order_relaxed);
+  }
   std::uint64_t t = spacing;
   for (Group* g = head_; g; g = g->next, t += spacing) {
     g->tag.store(t, std::memory_order_relaxed);

@@ -48,6 +48,15 @@ struct Item {
 
 struct Group {
   std::atomic<std::uint64_t> tag{0};
+  // Per-sublist coordinate version: bumped (inside the global seqlock
+  // window, before any coordinate is rewritten) whenever this group's tag
+  // or any member's subtag changes — i.e. on subtag redistribution, on the
+  // kept half of a split, and on every group during a top-level relabel.
+  // Item migration to a fresh group needs no bump: the migrated item's
+  // `group` pointer changes, which consumers key on directly.  This is what
+  // lets reach::MemoCache validate cached (tag, subtag) coordinates per
+  // sublist instead of being wiped by every unrelated structural mutation.
+  std::atomic<std::uint64_t> version{0};
   Group* prev = nullptr;  // top-level links, guarded by List::top_lock_
   Group* next = nullptr;
   Spinlock lock;

@@ -386,6 +386,9 @@ void PintDetector::cursor_flush(CoreWS& ws) {
   ws.raw_writes += fl.raw_writes;
   ws.fast_accesses += fl.raw_reads + fl.raw_writes;
   ws.fast_hits += fl.hits;
+  ws.cursor_spills += fl.spills;
+  ws.policy_switches += fl.policy_switches;
+  ws.policy_bypass += fl.bypassed;
 }
 
 // ---------------------------------------------------------------------------
@@ -817,7 +820,13 @@ void PintDetector::reader_loop(ReaderSide side) {
   const bool use_treap = opt_.history == detect::HistoryKind::kTreap;
   StopwatchAccum& watch = left ? lreader_watch_ : rreader_watch_;
   ConsumerLane& lane = *lanes_[left ? 0 : 1];
-  reach::MemoCache& memo = left ? memo_lreader_ : memo_rreader_;
+  // Phased one-core mode runs all three lanes on this one thread, so they
+  // can share the writer lane's memo: a strand pair already judged while
+  // walking the writer treap (strands that both wrote and read a region
+  // appear in all three stores) is served from cache here too.  Pipelined
+  // mode keeps one single-threaded cache per lane.
+  reach::MemoCache& memo =
+      seq_history_ ? memo_writer_ : (left ? memo_lreader_ : memo_rreader_);
   consume_loop(lane, [&](Strand* s) {
     watch.start();
     {
@@ -1115,6 +1124,9 @@ RunResult PintDetector::run(std::function<void()> fn) {
     stats_.traces.fetch_add(ws->traces);
     stats_.fastpath_accesses.fetch_add(ws->fast_accesses);
     stats_.fastpath_hits.fetch_add(ws->fast_hits);
+    stats_.cursor_spills.fetch_add(ws->cursor_spills);
+    stats_.policy_switches.fetch_add(ws->policy_switches);
+    stats_.policy_bypass.fetch_add(ws->policy_bypass);
     stats_.slowpath_accesses.fetch_add(ws->slow_accesses);
   }
   // Memo-cache totals: all history threads are joined (quiescence), so the
@@ -1147,6 +1159,12 @@ RunResult PintDetector::run(std::function<void()> fn) {
                stats_.fastpath_accesses.load(std::memory_order_relaxed));
   telem::count("access.fastpath.hits",
                stats_.fastpath_hits.load(std::memory_order_relaxed));
+  telem::count("access.fastpath.spills",
+               stats_.cursor_spills.load(std::memory_order_relaxed));
+  telem::count("access.policy.switches",
+               stats_.policy_switches.load(std::memory_order_relaxed));
+  telem::count("access.policy.bypass",
+               stats_.policy_bypass.load(std::memory_order_relaxed));
   telem::count("access.slowpath.total",
                stats_.slowpath_accesses.load(std::memory_order_relaxed));
   telem::count("reach.memo.queries", mq);

@@ -134,6 +134,7 @@ class PintDetector final : public detect::Detector,
     // the thread-local cursor, the subset its inline caches absorbed, and
     // accesses that took the classic virtual-dispatch route.
     std::uint64_t fast_accesses = 0, fast_hits = 0, slow_accesses = 0;
+    std::uint64_t cursor_spills = 0, policy_switches = 0, policy_bypass = 0;
     // consumer side (owned by the writer treap worker)
     Trace* ccur = nullptr;
     // strand pool: owner pops, writer treap worker returns

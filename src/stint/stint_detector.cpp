@@ -52,6 +52,9 @@ void StintDetector::cursor_flush() {
   raw_writes_ += fl.raw_writes;
   fast_accesses_ += fl.raw_reads + fl.raw_writes;
   fast_hits_ += fl.hits;
+  cursor_spills_ += fl.spills;
+  policy_switches_ += fl.policy_switches;
+  policy_bypass_ += fl.bypassed;
 }
 
 void StintDetector::process_strand(Strand* s) {
@@ -66,10 +69,10 @@ void StintDetector::process_strand(Strand* s) {
     PINT_TSPAN("stint.writer");
     if (opt_.history == detect::HistoryKind::kTreap) {
       detect::process_writer_treap(writer_treap_, *s, reach_, rep_, stats_,
-                                   &memo_writer_);
+                                   &memo_);
     } else {
       detect::process_writer_treap(writer_map_, *s, reach_, rep_, stats_,
-                                   &memo_writer_);
+                                   &memo_);
     }
   }
   writer_watch_.stop();
@@ -78,10 +81,10 @@ void StintDetector::process_strand(Strand* s) {
     PINT_TSPAN("stint.reader");
     if (opt_.history == detect::HistoryKind::kTreap) {
       detect::process_reader_treap(reader_treap_, *s, reach_, rep_, stats_,
-                                   detect::ReaderSide::kSerial, &memo_reader_);
+                                   detect::ReaderSide::kSerial, &memo_);
     } else {
       detect::process_reader_treap(reader_map_, *s, reach_, rep_, stats_,
-                                   detect::ReaderSide::kSerial, &memo_reader_);
+                                   detect::ReaderSide::kSerial, &memo_);
     }
   }
   reader_watch_.stop();
@@ -224,13 +227,19 @@ detect::RunResult StintDetector::run(std::function<void()> fn) {
   stats_.strands.store(strands_);
   stats_.fastpath_accesses.store(fast_accesses_);
   stats_.fastpath_hits.store(fast_hits_);
+  stats_.cursor_spills.store(cursor_spills_);
+  stats_.policy_switches.store(policy_switches_);
+  stats_.policy_bypass.store(policy_bypass_);
   stats_.slowpath_accesses.store(slow_accesses_);
-  const std::uint64_t mq = memo_writer_.queries + memo_reader_.queries;
-  const std::uint64_t mh = memo_writer_.hits + memo_reader_.hits;
+  const std::uint64_t mq = memo_.queries;
+  const std::uint64_t mh = memo_.hits;
   stats_.memo_queries.store(mq);
   stats_.memo_hits.store(mh);
   telem::count("access.fastpath.total", fast_accesses_);
   telem::count("access.fastpath.hits", fast_hits_);
+  telem::count("access.fastpath.spills", cursor_spills_);
+  telem::count("access.policy.switches", policy_switches_);
+  telem::count("access.policy.bypass", policy_bypass_);
   telem::count("access.slowpath.total", slow_accesses_);
   telem::count("reach.memo.queries", mq);
   telem::count("reach.memo.hits", mh);

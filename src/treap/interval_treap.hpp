@@ -123,8 +123,8 @@ class IntervalTreap {
   template <class Iv, class F>
   void query_run(const Iv* iv, std::size_t k, F&& cb) const {
     if (k == 0) return;
-    if (k == 1) {
-      query(iv[0].lo, iv[0].hi, cb);
+    if (k == 1 || !run_is_dense(iv, k)) {
+      for (std::size_t j = 0; j < k; ++j) query(iv[j].lo, iv[j].hi, cb);
       return;
     }
     assert_run_sorted(iv, k);
@@ -144,8 +144,8 @@ class IntervalTreap {
   void insert_writer_run(const Iv* iv, std::size_t k, const Accessor& a,
                          F&& cb) {
     if (k == 0) return;
-    if (k == 1) {
-      insert_writer(iv[0].lo, iv[0].hi, a, cb);
+    if (k == 1 || !run_is_dense(iv, k)) {
+      for (std::size_t j = 0; j < k; ++j) insert_writer(iv[j].lo, iv[j].hi, a, cb);
       return;
     }
     assert_run_sorted(iv, k);
@@ -180,8 +180,10 @@ class IntervalTreap {
   void insert_reader_run(const Iv* iv, std::size_t k, const Accessor& a,
                          R&& resolve) {
     if (k == 0) return;
-    if (k == 1) {
-      insert_reader(iv[0].lo, iv[0].hi, a, resolve);
+    if (k == 1 || !run_is_dense(iv, k)) {
+      for (std::size_t j = 0; j < k; ++j) {
+        insert_reader(iv[j].lo, iv[j].hi, a, resolve);
+      }
       return;
     }
     assert_run_sorted(iv, k);
@@ -219,33 +221,52 @@ class IntervalTreap {
   }
 
   /// Run erase: clears every interval of the run; gap coverage survives.
+  /// Unlike the writer/reader runs there are no callbacks, so this skips the
+  /// carve + Piece materialization entirely: one in-order zipper sweep over
+  /// the span's nodes drops covered ones and REUSES each node with a
+  /// surviving sub-segment in place (first survivor keeps the node, later
+  /// survivors of the same node get fresh ones), rebuilding via the same
+  /// right-spine stack as build_sorted().  O(k + m + log n) with no
+  /// per-kept-node release/alloc churn.
   template <class Iv>
   void erase_run(const Iv* iv, std::size_t k) {
     if (k == 0) return;
-    if (k == 1) {
-      erase_range(iv[0].lo, iv[0].hi);
+    if (k == 1 || !run_is_dense(iv, k)) {
+      for (std::size_t j = 0; j < k; ++j) erase_range(iv[j].lo, iv[j].hi);
       return;
     }
     assert_run_sorted(iv, k);
-    Node *left, *right;
-    carve(iv[0].lo, iv[k - 1].hi, &left, &right);
-    pieces_out_.clear();
-    std::size_t si = 0;
-    addr_t seg_lo = scratch_.empty() ? 0 : scratch_[0].lo;
-    for (std::size_t j = 0; j < k; ++j) {
-      const addr_t hi = iv[j].hi;
-      sweep_keep_before(iv[j].lo, &si, &seg_lo);
-      while (si < scratch_.size() && seg_lo <= hi) {  // drop covered parts
-        if (scratch_[si].hi > hi) {
-          seg_lo = hi + 1;
-          break;
-        }
-        ++si;
-        if (si < scratch_.size()) seg_lo = scratch_[si].lo;
+    const addr_t span_lo = iv[0].lo;
+    const addr_t span_hi = iv[k - 1].hi;
+    Node *left, *b, *mid, *right;
+    split(root_, span_lo, &left, &b);
+    root_ = nullptr;
+    split(b, span_hi == kMaxAddr ? kMaxAddr : span_hi + 1, &mid, &right);
+    if (span_hi == kMaxAddr && right) {
+      // span_hi+1 would wrap; nothing can start after kMaxAddr anyway.
+      mid = merge(mid, right);
+      right = nullptr;
+    }
+    spine_.clear();
+    std::size_t j = 0;  // sweep frontier into the run
+    // Predecessor straddle: truncate in place (key and priority unchanged,
+    // so it merges back untouched); the part inside the span joins the
+    // sweep as a headless segment whose gap survivors get fresh nodes.
+    Node* pred = detach_max(&left);
+    if (pred) {
+      if (pred->hi >= span_lo) {
+        const addr_t tail_hi = pred->hi;
+        const Accessor tail_who = pred->who;
+        pred->hi = span_lo - 1;  // pred->lo < span_lo by the split
+        left = merge(left, pred);
+        erase_sweep_segment(span_lo, tail_hi, tail_who, nullptr, iv, k, &j);
+      } else {
+        left = merge(left, pred);
       }
     }
-    PINT_ASSERT(si == scratch_.size());
-    root_ = merge(merge(left, build_sorted()), right);
+    erase_sweep(mid, iv, k, &j);
+    Node* kept = spine_.empty() ? nullptr : spine_.front();
+    root_ = merge(merge(left, kept), right);
   }
 
   bool empty() const { return root_ == nullptr; }
@@ -326,6 +347,27 @@ class IntervalTreap {
     }
   }
 
+  /// Sparse-run guard for the bulk paths.  The run apply carves (or, for
+  /// erase, sweeps) the WHOLE span [iv[0].lo, iv[k-1].hi], materializing
+  /// every stored segment in between - O(span contents) per run.  A run
+  /// whose intervals cover only a sliver of that span (strided access over
+  /// a large array, e.g. fft's butterfly reads) turns this quadratic:
+  /// every run rebuilds the bulk of the treap.  Those runs go through the
+  /// per-interval path instead - k root walks, O(k log n), never
+  /// catastrophic - which is bit-identical by the §10 equivalence.  The
+  /// bar is covered > span/4: the coalesced-record shapes the bulk path
+  /// exists for sit at 50-100% density, strided patterns orders below it.
+  template <class Iv>
+  static bool run_is_dense(const Iv* iv, std::size_t k) {
+    const addr_t need = (iv[k - 1].hi - iv[0].lo) / 4;
+    addr_t covered = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      covered += iv[j].hi - iv[j].lo + 1;
+      if (covered > need) return true;  // early out: dense runs scan a few
+    }
+    return false;
+  }
+
   template <class Iv>
   static void assert_run_sorted(const Iv* iv, std::size_t k) {
 #ifndef NDEBUG
@@ -355,24 +397,74 @@ class IntervalTreap {
     }
   }
 
-  /// Builds a treap from the sorted, disjoint pieces_out_ in O(m) with a
-  /// monotonic right-spine stack.  The tie rule (pop only on strictly
-  /// greater priority) matches merge()'s `a->prio >= b->prio`, so heap_ok's
-  /// strict check holds.
+  /// Appends a node (strictly increasing key) to the right-spine stack.
+  /// The tie rule (pop only on strictly greater priority) matches merge()'s
+  /// `a->prio >= b->prio`, so heap_ok's strict check holds - for any node
+  /// priorities, including reused ones.
+  void spine_push(Node* n) {
+    n->l = n->r = nullptr;
+    Node* last_popped = nullptr;
+    while (!spine_.empty() && spine_.back()->prio < n->prio) {
+      last_popped = spine_.back();
+      spine_.pop_back();
+    }
+    n->l = last_popped;
+    if (!spine_.empty()) spine_.back()->r = n;
+    spine_.push_back(n);
+  }
+
+  /// Builds a treap from the sorted, disjoint pieces_out_ in O(m) with the
+  /// right-spine stack.
   Node* build_sorted() {
     spine_.clear();
-    for (const Piece& p : pieces_out_) {
-      Node* n = make_node(p.lo, p.hi, p.who);
-      Node* last_popped = nullptr;
-      while (!spine_.empty() && spine_.back()->prio < n->prio) {
-        last_popped = spine_.back();
-        spine_.pop_back();
-      }
-      n->l = last_popped;
-      if (!spine_.empty()) spine_.back()->r = n;
-      spine_.push_back(n);
-    }
+    for (const Piece& p : pieces_out_) spine_push(make_node(p.lo, p.hi, p.who));
     return spine_.empty() ? nullptr : spine_.front();
+  }
+
+  /// erase_run zipper: in-order walk of the span's nodes, sweeping each
+  /// against the run (n->r is captured first - the segment handler may
+  /// relink or release the node).
+  template <class Iv>
+  void erase_sweep(Node* n, const Iv* iv, std::size_t k, std::size_t* j) {
+    if (!n) return;
+    erase_sweep(n->l, iv, k, j);
+    Node* r = n->r;
+    erase_sweep_segment(n->lo, n->hi, n->who, n, iv, k, j);
+    erase_sweep(r, iv, k, j);
+  }
+
+  /// Emits the parts of segment [slo, shi] not covered by the run onto the
+  /// spine, reusing `reuse` (may be null) for the first surviving part and
+  /// releasing it if nothing survives.  *j advances monotonically.
+  template <class Iv>
+  void erase_sweep_segment(addr_t slo, addr_t shi, const Accessor& who,
+                           Node* reuse, const Iv* iv, std::size_t k,
+                           std::size_t* j) {
+    addr_t cur = slo;
+    for (;;) {
+      while (*j < k && iv[*j].hi < cur) ++*j;
+      if (*j == k || iv[*j].lo > shi) {  // remainder survives whole
+        emit_kept(cur, shi, who, &reuse);
+        break;
+      }
+      if (iv[*j].lo > cur) emit_kept(cur, iv[*j].lo - 1, who, &reuse);
+      const addr_t stop = shi < iv[*j].hi ? shi : iv[*j].hi;
+      if (stop == shi) break;  // covered to the end (also avoids hi+1 wrap)
+      cur = stop + 1;
+    }
+    if (reuse) release(reuse);
+  }
+
+  void emit_kept(addr_t lo, addr_t hi, const Accessor& who, Node** reuse) {
+    Node* n = *reuse;
+    if (n) {
+      *reuse = nullptr;
+      n->lo = lo;
+      n->hi = hi;
+    } else {
+      n = make_node(lo, hi, who);
+    }
+    spine_push(n);
   }
 
   /// Splits by key: a = nodes with node.lo < k, b = the rest.

@@ -139,6 +139,81 @@ TEST(TreapRunApi, RandomizedRunsMatchPerRecordExactly) {
   }
 }
 
+/// Strided runs: tiny intervals with gaps orders of magnitude wider (the
+/// fft butterfly shape).  These take the sparse dispatch in every *_run -
+/// the per-interval path instead of the span carve (DESIGN.md §11.3) - and
+/// must stay indistinguishable from the per-record twin while the treap's
+/// gap coverage (written by interleaved DENSE runs, which stay on the
+/// carve) sits inside every sparse span.
+TEST(TreapRunApi, SparseStridedRunsMatchPerRecordExactly) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Xoshiro256 rng(seed);
+    treap::IntervalTreap per(seed * 1663), run(seed * 1663);
+    std::vector<Ev> ev_per, ev_run;
+    auto log_to = [](std::vector<Ev>& ev, char tag) {
+      return [&ev, tag](auto lo, auto hi, const auto& w) {
+        ev.push_back({tag, lo, hi, w.sid});
+      };
+    };
+    auto strided_run = [&]() {
+      const std::size_t k = 2 + rng.next_below(31);
+      std::vector<Iv> r;
+      std::uint64_t lo = rng.next_below(1 << 14);
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::uint64_t len = 1 + rng.next_below(8);
+        r.push_back({lo, lo + len - 1});
+        lo += len + 256 + rng.next_below(768);  // gap >> len: sparse
+      }
+      return r;
+    };
+    for (int step = 0; step < 150; ++step) {
+      const bool sparse = rng.next_below(2) == 0;
+      const auto r = sparse ? strided_run() : random_run(rng, 1 << 15);
+      const std::uint64_t sid = 2 + std::uint64_t(step);
+      switch (rng.next_below(4)) {
+        case 0:
+          for (const Iv& iv : r) {
+            per.insert_writer(iv.lo, iv.hi, acc(sid), log_to(ev_per, 'w'));
+          }
+          run.insert_writer_run(r.data(), r.size(), acc(sid),
+                                log_to(ev_run, 'w'));
+          break;
+        case 1:
+          for (const Iv& iv : r) {
+            per.insert_reader(iv.lo, iv.hi, acc(sid),
+                              [&](const auto& p, const auto& a) {
+                                ev_per.push_back({'r', p.sid, a.sid, 0});
+                                return resolve_by_sid(p, a);
+                              });
+          }
+          run.insert_reader_run(r.data(), r.size(), acc(sid),
+                                [&](const auto& p, const auto& a) {
+                                  ev_run.push_back({'r', p.sid, a.sid, 0});
+                                  return resolve_by_sid(p, a);
+                                });
+          break;
+        case 2:
+          for (const Iv& iv : r) per.query(iv.lo, iv.hi, log_to(ev_per, 'q'));
+          run.query_run(r.data(), r.size(), log_to(ev_run, 'q'));
+          break;
+        case 3:
+          for (const Iv& iv : r) per.erase_range(iv.lo, iv.hi);
+          run.erase_run(r.data(), r.size());
+          break;
+      }
+      ASSERT_EQ(ev_per, ev_run) << "seed=" << seed << " step=" << step;
+      if (step % 25 == 0) {
+        ASSERT_EQ(contents(per), contents(run))
+            << "seed=" << seed << " step=" << step;
+        ASSERT_TRUE(run.check_invariants());
+      }
+    }
+    EXPECT_EQ(contents(per), contents(run)) << "seed=" << seed;
+    EXPECT_TRUE(per.check_invariants());
+    EXPECT_TRUE(run.check_invariants());
+  }
+}
+
 TEST(TreapRunApi, SegmentSpanningSeveralRunIntervalsIsTrimmedPerInterval) {
   treap::IntervalTreap t;
   t.insert_writer(0, 999, acc(1), [](auto, auto, const auto&) {});
