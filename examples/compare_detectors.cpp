@@ -9,7 +9,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "pint.hpp"
+#include "pint_api.hpp"
 #include "support/timer.hpp"
 
 using namespace pint;

@@ -13,7 +13,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "pint.hpp"
+#include "pint_api.hpp"
 
 using namespace pint;
 

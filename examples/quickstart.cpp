@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "pint.hpp"
+#include "pint_api.hpp"
 
 namespace {
 

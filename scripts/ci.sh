@@ -18,6 +18,9 @@
 #                            # fig1_overview run
 #   scripts/ci.sh bulkapply  # bulk-run equivalence suite (ctest -L
 #                            # bulkapply) in the plain AND the TSan builds
+#   scripts/ci.sh locks      # lockset matrix suite (ctest -L locks):
+#                            # guarded/unguarded twin kernels through every
+#                            # detector, in the plain AND the TSan builds
 #   scripts/ci.sh perfgate   # perf-regression gate: re-runs both micro
 #                            # benches and fails on a >10% geomean
 #                            # regression vs the committed BENCH_*.json, or
@@ -35,7 +38,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 LANES=("$@")
 if [ ${#LANES[@]} -eq 0 ]; then
-  LANES=(tier1 tsan asan faults telemetry perf bulkapply perfgate)
+  LANES=(tier1 tsan asan faults telemetry perf bulkapply locks perfgate)
 fi
 
 build_dir() {
@@ -69,6 +72,18 @@ run_lane() {
       (cd build && ctest --output-on-failure -L bulkapply)
       build_dir build-tsan thread
       (cd build-tsan && ctest --output-on-failure -L bulkapply)
+      return
+      ;;
+    locks)
+      # Lock-aware detection must hold under TSan too: the lockset table's
+      # id->set chunk publication and the intersects() pair memo are read
+      # lock-free from the history lanes, and TSan is what certifies those
+      # release/acquire pairs.
+      echo "=== lane: locks (build dirs: build, build-tsan) ==="
+      build_dir build ""
+      (cd build && ctest --output-on-failure -L locks)
+      build_dir build-tsan thread
+      (cd build-tsan && ctest --output-on-failure -L locks)
       return
       ;;
     telemetry)

@@ -25,8 +25,15 @@ std::uint64_t peek_sid(const AccessorRec& r) {
 void set_rec(AccessorRec& dst, const AccessorRec& src) {
   dst.label = src.label;
   dst.tag = src.tag;
+  dst.lsid = src.lsid;
   std::atomic_ref<std::uint64_t>(dst.sid).store(src.sid,
                                                 std::memory_order_relaxed);
+}
+
+/// Conflict filter: skip the (dearer) reachability query when both sides'
+/// segments held a common mutex - the pair cannot be a race either way.
+bool lock_guarded(const AccessorRec& prev, const AccessorRec& me) {
+  return detect::locksets_share(prev.lsid, me.lsid);
 }
 }  // namespace
 
@@ -35,11 +42,13 @@ CracerDetector::CracerDetector(const Options& opt)
   rep_.set_verbose(opt_.verbose_races);
 }
 
-AccessorRec* CracerDetector::alloc_strand(const reach::Label& label,
-                                          const char* tag) {
+AccessorRec* CracerDetector::alloc_strand(const reach::Engine::Label& label,
+                                          const char* tag,
+                                          detect::lockset_t lsid) {
   LockGuard<Spinlock> g(arena_mu_);
-  arena_.push_back(
-      {label, next_sid_.fetch_add(1, std::memory_order_relaxed) + 1, tag});
+  arena_.push_back({label,
+                    next_sid_.fetch_add(1, std::memory_order_relaxed) + 1, tag,
+                    lsid});
   strands_.fetch_add(1, std::memory_order_relaxed);
   return &arena_.back();
 }
@@ -54,7 +63,8 @@ void CracerDetector::read_cell(ShadowCell& c, const AccessorRec& me) {
   // the race from its own write_cell check).
   if (peek_sid(c.lreader) == me.sid || peek_sid(c.rreader) == me.sid) return;
   LockGuard<Spinlock> g(c.lock);
-  if (c.writer.sid != 0 && c.writer.sid != me.sid) {
+  if (c.writer.sid != 0 && c.writer.sid != me.sid &&
+      !lock_guarded(c.writer, me)) {
     stats_.reach_queries.fetch_add(1, std::memory_order_relaxed);
     if (reach_.parallel(c.writer.label, me.label)) {
       rep_.report(c.writer.sid, /*prev_write=*/true, me.sid,
@@ -85,14 +95,16 @@ void CracerDetector::write_cell(ShadowCell& c, const AccessorRec& me) {
   // changes nothing (conflicting readers/writers report from their side).
   if (peek_sid(c.writer) == me.sid) return;
   LockGuard<Spinlock> g(c.lock);
-  if (c.writer.sid != 0 && c.writer.sid != me.sid) {
+  if (c.writer.sid != 0 && c.writer.sid != me.sid &&
+      !lock_guarded(c.writer, me)) {
     stats_.reach_queries.fetch_add(1, std::memory_order_relaxed);
     if (reach_.parallel(c.writer.label, me.label)) {
       rep_.report(c.writer.sid, true, me.sid, true, 0, 0, c.writer.tag,
                   me.tag);
     }
   }
-  if (c.lreader.sid != 0 && c.lreader.sid != me.sid) {
+  if (c.lreader.sid != 0 && c.lreader.sid != me.sid &&
+      !lock_guarded(c.lreader, me)) {
     stats_.reach_queries.fetch_add(1, std::memory_order_relaxed);
     if (reach_.parallel(c.lreader.label, me.label)) {
       rep_.report(c.lreader.sid, false, me.sid, true, 0, 0, c.lreader.tag,
@@ -100,7 +112,7 @@ void CracerDetector::write_cell(ShadowCell& c, const AccessorRec& me) {
     }
   }
   if (c.rreader.sid != 0 && c.rreader.sid != me.sid &&
-      c.rreader.sid != c.lreader.sid) {
+      c.rreader.sid != c.lreader.sid && !lock_guarded(c.rreader, me)) {
     stats_.reach_queries.fetch_add(1, std::memory_order_relaxed);
     if (reach_.parallel(c.rreader.label, me.label)) {
       rep_.report(c.rreader.sid, false, me.sid, true, 0, 0, c.rreader.tag,
@@ -153,8 +165,36 @@ void CracerDetector::on_spawn(rt::Worker&, rt::TaskFrame& parent,
     blk.det_sync = j;
   }
   const auto labels = reach_.on_spawn(u->label, &j->label);
+  // Lockset rule (same as every detector): the continuation inherits the
+  // parent's held locks, the child starts empty.
   child.det_strand = alloc_strand(labels.child, child.task_name);
-  parent.det_cont = alloc_strand(labels.cont, parent.task_name);
+  parent.det_cont = alloc_strand(labels.cont, parent.task_name, u->lsid);
+}
+
+void CracerDetector::on_lock_event(rt::TaskFrame& f, detect::addr_t lock,
+                                   bool acquire) {
+  auto* u = static_cast<AccessorRec*>(f.det_strand);
+  PINT_ASSERT(u != nullptr);
+  auto& tbl = detect::LocksetTable::instance();
+  const detect::lockset_t nid =
+      acquire ? tbl.acquire(u->lsid, lock) : tbl.release(u->lsid, lock);
+  if (nid == u->lsid) return;
+  // Continue under the same label with a FRESH sid: the per-cell fast paths
+  // dedup on sid, so the new segment's accesses re-record with the new
+  // lockset; same-label segments are never judged parallel to each other.
+  f.det_strand = alloc_strand(u->label, u->tag, nid);
+}
+
+void CracerDetector::on_lock_acquire(rt::Worker&, rt::TaskFrame& f,
+                                     detect::addr_t lock) {
+  if (!opt_.tuning.lock_edges) return;
+  on_lock_event(f, lock, true);
+}
+
+void CracerDetector::on_lock_release(rt::Worker&, rt::TaskFrame& f,
+                                     detect::addr_t lock) {
+  if (!opt_.tuning.lock_edges) return;
+  on_lock_event(f, lock, false);
 }
 
 void CracerDetector::on_spawn_return(rt::Worker&, rt::TaskFrame& child, bool) {
@@ -184,6 +224,7 @@ void CracerDetector::on_after_sync(rt::Worker&, rt::TaskFrame& f,
 detect::RunResult CracerDetector::run(std::function<void()> fn) {
   PINT_CHECK_MSG(!used_, "CracerDetector instances are single-use");
   used_ = true;
+  opt_.tuning.apply_globals();
 
   rt::Scheduler::Options so;
   so.workers = opt_.workers;

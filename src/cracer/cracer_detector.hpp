@@ -20,7 +20,7 @@
 #include "detect/report.hpp"
 #include "detect/run_result.hpp"
 #include "detect/stats.hpp"
-#include "reach/sp_order.hpp"
+#include "reach/engine.hpp"
 #include "runtime/scheduler.hpp"
 #include "support/spinlock.hpp"
 #include "support/timer.hpp"
@@ -53,6 +53,10 @@ class CracerDetector final : public detect::Detector,
                  detect::addr_t hi, bool is_write) override;
   void on_heap_free(rt::Worker& w, rt::TaskFrame& f, void* base,
                     detect::addr_t lo, detect::addr_t hi) override;
+  void on_lock_acquire(rt::Worker& w, rt::TaskFrame& f,
+                       detect::addr_t lock) override;
+  void on_lock_release(rt::Worker& w, rt::TaskFrame& f,
+                       detect::addr_t lock) override;
   const char* name() const override { return "C-RACER"; }
 
   // --- rt::SchedulerHooks ---
@@ -66,9 +70,11 @@ class CracerDetector final : public detect::Detector,
                      bool trivial) override;
 
  private:
-  AccessorRec* alloc_strand(const reach::Label& label, const char* tag);
+  AccessorRec* alloc_strand(const reach::Engine::Label& label, const char* tag,
+                            detect::lockset_t lsid = 0);
   void read_cell(ShadowCell& c, const AccessorRec& me);
   void write_cell(ShadowCell& c, const AccessorRec& me);
+  void on_lock_event(rt::TaskFrame& f, detect::addr_t lock, bool acquire);
 
   Options opt_;
   reach::Engine reach_;

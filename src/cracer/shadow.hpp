@@ -17,17 +17,19 @@
 #include <memory>
 #include <vector>
 
+#include "detect/lockset.hpp"
 #include "detect/types.hpp"
-#include "reach/sp_order.hpp"
+#include "reach/engine.hpp"
 #include "support/assert.hpp"
 #include "support/spinlock.hpp"
 
 namespace pint::cracer {
 
 struct AccessorRec {
-  reach::Label label;
+  reach::Engine::Label label;
   std::uint64_t sid = 0;        // 0 = empty
   const char* tag = nullptr;    // task name from named spawns, for reports
+  detect::lockset_t lsid = 0;   // lockset held during this segment
 };
 
 struct ShadowCell {
@@ -94,10 +96,13 @@ class ShadowMemory {
       // sids are probed without the lock (detector fast paths): store them
       // atomically.
       c.writer.label = {};
+      c.writer.lsid = 0;
       std::atomic_ref<std::uint64_t>(c.writer.sid).store(0, std::memory_order_relaxed);
       c.lreader.label = {};
+      c.lreader.lsid = 0;
       std::atomic_ref<std::uint64_t>(c.lreader.sid).store(0, std::memory_order_relaxed);
       c.rreader.label = {};
+      c.rreader.lsid = 0;
       std::atomic_ref<std::uint64_t>(c.rreader.sid).store(0, std::memory_order_relaxed);
     }
   }

@@ -34,6 +34,16 @@ class Detector {
   virtual void on_heap_free(rt::Worker& worker, rt::TaskFrame& frame,
                             void* base, addr_t lo, addr_t hi) = 0;
 
+  /// The current strand acquired / released the mutex at address `lock`
+  /// (the __pint_lock_* hooks; recorded AFTER the real acquire and BEFORE
+  /// the real release, so the recorded critical section nests inside the
+  /// real one).  Lock-aware detectors split the strand into a new segment
+  /// carrying the updated lockset; the default ignores lock events.
+  virtual void on_lock_acquire(rt::Worker& /*worker*/,
+                               rt::TaskFrame& /*frame*/, addr_t /*lock*/) {}
+  virtual void on_lock_release(rt::Worker& /*worker*/,
+                               rt::TaskFrame& /*frame*/, addr_t /*lock*/) {}
+
   virtual const char* name() const = 0;
 };
 

@@ -8,10 +8,11 @@
 #include <atomic>
 
 #include "detect/granule_map.hpp"
+#include "detect/lockset.hpp"
 #include "detect/report.hpp"
 #include "detect/stats.hpp"
 #include "detect/strand.hpp"
-#include "reach/sp_order.hpp"
+#include "reach/engine.hpp"
 #include "treap/interval_treap.hpp"
 
 namespace pint::detect {
@@ -53,23 +54,26 @@ enum class ReaderSide {
 };
 
 inline treap::Accessor accessor_of(const Strand& s) {
-  return {s.label, s.sid, s.tag};
+  return {s.label, s.sid, s.tag, s.lsid};
 }
 
 // HistoryKind (treap vs granule-map store) lives in detect/types.hpp so the
 // ablation knob is nameable without this header's treap dependency.
 
 /// Overlap callback shared by every checking path: report a race when a
-/// prior accessor of the overlapped segment is parallel to `me`.
+/// prior accessor of the overlapped segment is parallel to `me` and the two
+/// segments held no common lock (epoch×lockset filtering, DESIGN.md §12).
 /// `me` is captured by value; engine/reporter/stats by reference.  `memo`
 /// (optional) is the calling history worker's private precedes() cache.
+template <class Engine = reach::Engine>
 inline auto make_conflict_cb(treap::Accessor me, bool prev_write,
-                             bool cur_write, reach::Engine& reach,
+                             bool cur_write, Engine& reach,
                              RaceReporter& rep, Stats& stats,
-                             reach::MemoCache* memo = nullptr) {
+                             typename Engine::Memo* memo = nullptr) {
   return [me, prev_write, cur_write, &reach, &rep, &stats, memo](
              addr_t lo, addr_t hi, const treap::Accessor& prev) {
     if (prev.sid == me.sid) return;  // a strand cannot race with itself
+    if (locksets_share(prev.lsid, me.lsid)) return;  // common mutex held
     stats.reach_queries.fetch_add(1, std::memory_order_relaxed);
     if (reach.parallel(prev.label, me.label, memo)) {
       rep.report(prev.sid, prev_write, me.sid, cur_write, lo, hi, prev.tag,
@@ -84,15 +88,17 @@ inline auto make_conflict_cb(treap::Accessor me, bool prev_write,
 /// to DAG-conforming processing).  One Relation answers series-ness AND the
 /// left/right tiebreak (left_of(me, prev) is the negated English bit), so
 /// the memo pays off even on the resolver path.
-inline auto make_reader_resolver(treap::Accessor me, reach::Engine& reach,
+template <class Engine = reach::Engine>
+inline auto make_reader_resolver(treap::Accessor me, Engine& reach,
                                  Stats& stats, ReaderSide side,
-                                 reach::MemoCache* memo = nullptr) {
+                                 typename Engine::Memo* memo = nullptr) {
   return [me, &reach, &stats, side, memo](const treap::Accessor& prev,
                                           const treap::Accessor& cur) {
     (void)cur;
     if (prev.sid == me.sid) return false;
     stats.reach_queries.fetch_add(1, std::memory_order_relaxed);
-    const reach::Relation r = reach.relation(prev.label, me.label, memo);
+    const typename Engine::Relation r =
+        reach.relation(prev.label, me.label, memo);
     if (r.eng && r.heb) return true;  // prev ~> me
     switch (side) {
       case ReaderSide::kLeftMost:
@@ -110,11 +116,11 @@ inline auto make_reader_resolver(treap::Accessor me, reach::Engine& reach,
 /// against and inserted into it (query-before-insert, per Theorem 5's
 /// proof), then clears applied. Works with any store exposing the treap's
 /// query/insert_writer/insert_reader/erase_range interface.
-template <class History>
+template <class History, class Engine = reach::Engine>
 inline void process_writer_treap(History& t, const Strand& s,
-                                 reach::Engine& reach, RaceReporter& rep,
+                                 Engine& reach, RaceReporter& rep,
                                  Stats& stats,
-                                 reach::MemoCache* memo = nullptr) {
+                                 typename Engine::Memo* memo = nullptr) {
   const treap::Accessor me = accessor_of(s);
   const bool bulk = bulk_apply();
   const auto& reads = s.reads.items();
@@ -147,11 +153,11 @@ inline void process_writer_treap(History& t, const Strand& s,
 
 /// Writes checked against the reader history, then reads inserted with the
 /// side's retention rule, then clears applied.
-template <class History>
+template <class History, class Engine = reach::Engine>
 inline void process_reader_treap(History& t, const Strand& s,
-                                 reach::Engine& reach, RaceReporter& rep,
+                                 Engine& reach, RaceReporter& rep,
                                  Stats& stats, ReaderSide side,
-                                 reach::MemoCache* memo = nullptr) {
+                                 typename Engine::Memo* memo = nullptr) {
   const treap::Accessor me = accessor_of(s);
   const bool bulk = bulk_apply();
   const auto& writes = s.writes.items();

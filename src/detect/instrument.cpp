@@ -457,6 +457,40 @@ bool access_fast_path() { return g_fast_path.load(std::memory_order_relaxed); }
 
 }  // namespace detect
 
+namespace {
+
+// Shared slow route of the lock hooks: same dispatch as record_access_slow
+// (lock events are control events - there is no cursor fast path to take,
+// and detectors flush the cursor themselves when they split the strand).
+PINT_NOINLINE void lock_event(const void* mutex, bool acquire) {
+  detect::Detector* d = g_active.load(std::memory_order_relaxed);
+  if (d == nullptr || mutex == nullptr) return;
+  rt::Worker* w = rt::current_worker();
+  if (w == nullptr || w->current_frame() == nullptr) return;  // outside a run
+  const detect::addr_t lock = detect::addr_of(mutex);
+  if (acquire) {
+    d->on_lock_acquire(*w, *w->current_frame(), lock);
+  } else {
+    d->on_lock_release(*w, *w->current_frame(), lock);
+  }
+}
+
+}  // namespace
+
+void lock_acquire(const void* mutex) {
+  if (!detail::g_instrumentation_on.load(std::memory_order_relaxed)) return;
+  lock_event(mutex, true);
+}
+void lock_release(const void* mutex) {
+  if (!detail::g_instrumentation_on.load(std::memory_order_relaxed)) return;
+  lock_event(mutex, false);
+}
+
+extern "C" {
+void __pint_lock_acquire(void* mutex) { lock_acquire(mutex); }
+void __pint_lock_release(void* mutex) { lock_release(mutex); }
+}
+
 void* dmalloc(std::size_t bytes) {
   void* base = std::malloc(bytes + kHeaderBytes);
   PINT_CHECK_MSG(base != nullptr, "dmalloc: out of memory");

@@ -81,6 +81,42 @@ inline void istore(T& ref, const T& v) {
 void* dmalloc(std::size_t bytes);
 void dfree(void* p);
 
+/// Lock hooks (DESIGN.md §12) - what the compiler pass would emit around
+/// mutex operations.  Call lock_acquire AFTER the real acquire succeeds and
+/// lock_release BEFORE the real release, so the recorded critical section
+/// nests inside the real one; the mutex's address is its identity.  With no
+/// active detector both are the same cheap early-out as record_read.
+void lock_acquire(const void* mutex);
+void lock_release(const void* mutex);
+
+extern "C" {
+/// C-linkage spellings for instrumented builds (the Tapir-style pass emits
+/// calls to these symbols).
+void __pint_lock_acquire(void* mutex);
+void __pint_lock_release(void* mutex);
+}
+
+/// RAII critical section: acquires the real lock, then records the acquire;
+/// records the release, then releases the real lock.  The shape every
+/// lock-aware kernel uses.
+template <class Mutex>
+class InstrumentedLockGuard {
+ public:
+  explicit InstrumentedLockGuard(Mutex& m) : m_(m) {
+    m_.lock();
+    lock_acquire(&m_);
+  }
+  ~InstrumentedLockGuard() {
+    lock_release(&m_);
+    m_.unlock();
+  }
+  InstrumentedLockGuard(const InstrumentedLockGuard&) = delete;
+  InstrumentedLockGuard& operator=(const InstrumentedLockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
 namespace detect {
 
 class AccessBuffer;

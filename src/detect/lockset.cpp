@@ -1,0 +1,183 @@
+#include "detect/lockset.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+#include "support/spinlock.hpp"
+
+namespace pint::detect {
+
+namespace {
+
+struct Set {
+  std::vector<addr_t> locks;  // sorted, non-empty once interned
+};
+
+std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t hash_set(const std::vector<addr_t>& locks) {
+  std::uint64_t h = 0x27d4eb2f165667c5ULL;
+  for (addr_t a : locks) h = hash_mix(h, a);
+  return h;
+}
+
+}  // namespace
+
+struct LocksetTable::Impl {
+  // Append-only chunked id -> Set storage.  Chunk pointers are published
+  // with release so a lane that learned an id through any happens-before
+  // edge can read the set lock-free.
+  static constexpr std::uint32_t kChunkBits = 10;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkBits;
+  static constexpr std::uint32_t kMaxChunks = 1u << 12;  // 4M interned sets
+
+  Spinlock mu;
+  // Interned-set count; mutated under mu, read lock-free by set_of's bounds
+  // assert on the query path (hence atomic).
+  std::atomic<std::uint32_t> count{1};  // id 0 is the implicit empty set
+  std::atomic<Set*> chunks[kMaxChunks] = {};
+  // Interning index (under mu): set hash -> candidate ids.
+  std::unordered_map<std::uint64_t, std::vector<lockset_t>> index;
+  // Exact-keyed direct-mapped transition memo (under mu): lock events repeat
+  // the same (cur, lock) transitions, so most acquires hit here.
+  struct Trans {
+    lockset_t cur = 0;
+    addr_t lock = 0;
+    lockset_t out = 0;
+    std::uint8_t kind = 0;  // 0 invalid, 1 acquire, 2 release
+  };
+  static constexpr std::size_t kTransSlots = 2048;
+  Trans tmemo[kTransSlots];
+  // Lock-free intersects() pair memo: packed (a << 33) | (b << 2) |
+  // (verdict << 1) | 1.  Exact-keyed, so a slot collision only costs a
+  // recompute, never a wrong verdict.
+  static constexpr std::size_t kPairSlots = 4096;
+  std::atomic<std::uint64_t> pmemo[kPairSlots] = {};
+
+  const Set& set_of(lockset_t id) const {
+    PINT_ASSERT(id != 0 && id < count.load(std::memory_order_relaxed));
+    const Set* chunk =
+        chunks[id >> kChunkBits].load(std::memory_order_acquire);
+    return chunk[id & (kChunkSize - 1)];
+  }
+
+  // Under mu: intern `locks` (sorted, non-empty), reusing an existing id.
+  lockset_t intern(std::vector<addr_t>&& locks) {
+    const std::uint64_t h = hash_set(locks);
+    std::vector<lockset_t>& cands = index[h];
+    for (lockset_t id : cands) {
+      if (set_of(id).locks == locks) return id;
+    }
+    const lockset_t id = count.load(std::memory_order_relaxed);
+    PINT_CHECK_MSG(id < kMaxChunks * kChunkSize, "lockset table full");
+    std::atomic<Set*>& slot = chunks[id >> kChunkBits];
+    Set* chunk = slot.load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new Set[kChunkSize];
+      slot.store(chunk, std::memory_order_release);
+    }
+    chunk[id & (kChunkSize - 1)].locks = std::move(locks);
+    count.store(id + 1, std::memory_order_relaxed);
+    cands.push_back(id);
+    return id;
+  }
+
+  static std::size_t trans_slot(lockset_t cur, addr_t lock, std::uint8_t k) {
+    return std::size_t(hash_mix(hash_mix(cur, lock), k)) & (kTransSlots - 1);
+  }
+};
+
+LocksetTable::LocksetTable() : impl_(new Impl) {}
+
+LocksetTable& LocksetTable::instance() {
+  static LocksetTable t;
+  return t;
+}
+
+lockset_t LocksetTable::acquire(lockset_t cur, addr_t lock) {
+  LockGuard<Spinlock> g(impl_->mu);
+  Impl::Trans& t = impl_->tmemo[Impl::trans_slot(cur, lock, 1)];
+  if (t.kind == 1 && t.cur == cur && t.lock == lock) return t.out;
+  std::vector<addr_t> locks;
+  if (cur != 0) locks = impl_->set_of(cur).locks;
+  const auto it = std::lower_bound(locks.begin(), locks.end(), lock);
+  lockset_t out = cur;
+  if (it == locks.end() || *it != lock) {
+    locks.insert(it, lock);
+    out = impl_->intern(std::move(locks));
+  }
+  t = {cur, lock, out, 1};
+  return out;
+}
+
+lockset_t LocksetTable::release(lockset_t cur, addr_t lock) {
+  if (cur == 0) return 0;  // unmatched release of an empty set
+  LockGuard<Spinlock> g(impl_->mu);
+  Impl::Trans& t = impl_->tmemo[Impl::trans_slot(cur, lock, 2)];
+  if (t.kind == 2 && t.cur == cur && t.lock == lock) return t.out;
+  std::vector<addr_t> locks = impl_->set_of(cur).locks;
+  const auto it = std::lower_bound(locks.begin(), locks.end(), lock);
+  lockset_t out = cur;
+  if (it != locks.end() && *it == lock) {
+    locks.erase(it);
+    out = locks.empty() ? 0 : impl_->intern(std::move(locks));
+  }
+  t = {cur, lock, out, 2};
+  return out;
+}
+
+bool LocksetTable::intersects(lockset_t a, lockset_t b) const {
+  if (a == 0 || b == 0) return false;
+  if (a == b) return true;
+  // Normalize so (a, b) and (b, a) share a memo entry.
+  if (a > b) std::swap(a, b);
+  std::atomic<std::uint64_t>* slot = nullptr;
+  if (b < (1u << 31)) {  // ids fit the packed entry (always, in practice)
+    const std::size_t s =
+        std::size_t(hash_mix(a, b)) & (Impl::kPairSlots - 1);
+    slot = &impl_->pmemo[s];
+    const std::uint64_t e = slot->load(std::memory_order_relaxed);
+    if ((e & 1) != 0 && (e >> 33) == a && ((e >> 2) & 0x7fffffffULL) == b) {
+      return ((e >> 1) & 1) != 0;
+    }
+  }
+  const Set& sa = impl_->set_of(a);
+  const Set& sb = impl_->set_of(b);
+  bool share = false;
+  for (std::size_t i = 0, j = 0;
+       i < sa.locks.size() && j < sb.locks.size();) {
+    if (sa.locks[i] == sb.locks[j]) {
+      share = true;
+      break;
+    }
+    if (sa.locks[i] < sb.locks[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  if (slot != nullptr) {
+    const std::uint64_t e = (std::uint64_t(a) << 33) |
+                            (std::uint64_t(b) << 2) |
+                            (std::uint64_t(share) << 1) | 1u;
+    slot->store(e, std::memory_order_relaxed);
+  }
+  return share;
+}
+
+const std::vector<addr_t>& LocksetTable::locks(lockset_t id) const {
+  static const std::vector<addr_t> kEmpty;
+  if (id == 0) return kEmpty;
+  return impl_->set_of(id).locks;
+}
+
+std::size_t LocksetTable::size() const {
+  return impl_->count.load(std::memory_order_relaxed);
+}
+
+}  // namespace pint::detect

@@ -19,6 +19,7 @@
 
 #include "detect/report.hpp"
 #include "detect/stats.hpp"
+#include "detect/tuning.hpp"
 #include "detect/types.hpp"
 
 namespace pint::detect {
@@ -74,6 +75,10 @@ struct CommonOptions {
   std::size_t stack_bytes = std::size_t(1) << 18;
   bool verbose_races = false;
   std::uint64_t seed = 42;
+  /// Cross-cutting knobs (DESIGN.md §12.5).  Defaults to the live globals +
+  /// the PINT_TUNING overlay at construction; run() applies the global
+  /// subset back, so editing this struct is the one place to tune a run.
+  Tuning tuning = Tuning::from_env();
 };
 
 /// The dispatch seam: run a program under detection, harvest the results.

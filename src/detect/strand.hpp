@@ -15,8 +15,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "detect/lockset.hpp"
 #include "detect/types.hpp"
-#include "reach/sp_order.hpp"
+#include "reach/engine.hpp"
 
 namespace pint::rt {
 struct TaskFrame;
@@ -26,9 +27,14 @@ namespace pint::detect {
 
 struct Strand {
   std::uint64_t sid = 0;
-  reach::Label label;
+  reach::Engine::Label label;
   /// Task name of the strand's owning task (named spawns); for reports.
   const char* tag = nullptr;
+  /// Interned lockset held while this segment's accesses were recorded
+  /// (0 = none).  A lock acquire/release splits the strand into a new
+  /// segment with the SAME label but a fresh sid and lsid, so every history
+  /// record carries the exact lockset of its accesses.
+  lockset_t lsid = 0;
 
   AccessBuffer reads;
   AccessBuffer writes;
@@ -60,6 +66,7 @@ struct Strand {
     sid = id;
     label = {};
     tag = nullptr;
+    lsid = 0;
     reads.clear();
     writes.clear();
     clears.clear();

@@ -42,7 +42,9 @@ struct KernelConfig {
   std::uint64_t seed = 12345;
 };
 
-/// Factory. Names: chol, sort, fft, heat, mmul, stra, straz.
+/// Factory. Names: chol, sort, fft, heat, mmul, stra, straz, plus the
+/// lock-scenario kernels lkcache and lktwin (mutex-guarded sharing; not in
+/// kernel_names(), so the paper's seven-kernel sweeps are unchanged).
 std::unique_ptr<KernelInstance> make_kernel(const std::string& name,
                                             const KernelConfig& cfg = {});
 

@@ -1,0 +1,243 @@
+// Lock-shaped scenario kernels for the mutex-aware detection path.
+//
+// Unlike the paper's seven fork-join kernels, these two exercise accesses
+// that are ordered by MUTUAL EXCLUSION rather than by the series-parallel
+// DAG: pure fork-join reachability judges them parallel, and only the
+// lockset filter (DESIGN.md §12) keeps them out of the race set.
+//
+//   lkcache - parallel tasks sharing one bounded memo cache behind a single
+//             spinlock; every access to the shared table is guarded, so a
+//             lock-aware detector must report zero races.  The seeded_race
+//             variant skips the lock on the table WRITES (classic
+//             check-then-act corruption).
+//   lktwin  - guarded/unguarded twin counters: tasks hammer a small counter
+//             array, each increment wrapped in the lock (guarded) or bare
+//             (seeded_race: every pair of tasks on a counter is a true
+//             race).  The twin shape gives tests an A/B with identical
+//             structure, footprint, and schedule.
+//
+// Both use pint::Spinlock (fiber-safe: pure spin, no OS blocking) and never
+// spawn/sync while holding the lock, so continuation stealing cannot park a
+// fiber that owns a mutex.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/instrument.hpp"
+#include "kernels/kernels.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/rng.hpp"
+#include "support/spinlock.hpp"
+
+namespace pint::kernels {
+
+namespace {
+
+constexpr std::size_t kTaskBase = 2;  // leaf size of the task-range splits
+
+/// Recursively splits [t0, t1) into parallel leaves running fn(t).
+template <class F>
+void split_tasks(std::size_t t0, std::size_t t1, const F& fn) {
+  if (t1 - t0 <= kTaskBase) {
+    for (std::size_t t = t0; t < t1; ++t) fn(t);
+    return;
+  }
+  const std::size_t mid = t0 + (t1 - t0) / 2;
+  rt::SpawnScope sc;
+  sc.spawn([&, t0, mid] { split_tasks(t0, mid, fn); });
+  split_tasks(mid, t1, fn);
+  sc.sync();
+}
+
+// ---------------------------------------------------------------------------
+// lkcache
+// ---------------------------------------------------------------------------
+
+class LockedCacheKernel final : public KernelInstance {
+ public:
+  explicit LockedCacheKernel(const KernelConfig& cfg) : cfg_(cfg) {
+    tasks_ = std::size_t(16.0 * cfg.scale);
+    if (tasks_ < 8) tasks_ = 8;
+    lookups_ = 32;
+    slots_ = 16;
+  }
+  const char* name() const override { return "lkcache"; }
+  std::string config_string() const override {
+    return "tasks=" + std::to_string(tasks_) +
+           " lookups=" + std::to_string(lookups_) +
+           " slots=" + std::to_string(slots_);
+  }
+  void prepare() override {
+    keys_.assign(slots_, 0);
+    vals_.assign(slots_, 0);
+    hits_.assign(tasks_, 0);
+    sums_.assign(tasks_, 0);
+  }
+  void run() override {
+    split_tasks(0, tasks_, [this](std::size_t t) { task(t); });
+  }
+  bool verify() override {
+    // The racy variant really corrupts the table (torn key/value pairs), so
+    // its numeric result is unverifiable by design - like the other seeded
+    // variants, it exists for the detectors, not for the answer.
+    if (cfg_.seeded_race) return true;
+    // Every task must have accumulated the same total: the cached value of a
+    // key equals the direct computation, hit or miss.
+    std::uint64_t expect = 0;
+    for (std::size_t q = 0; q < lookups_; ++q) expect += value_of(key_of(q));
+    for (std::size_t t = 0; t < tasks_; ++t) {
+      if (sums_[t] != expect) return false;
+    }
+    return true;
+  }
+
+ private:
+  static std::uint64_t value_of(std::uint64_t key) {
+    std::uint64_t s = key * 0x2545f4914f6cdd1dULL + 1;
+    return splitmix64(s);
+  }
+  std::uint64_t key_of(std::size_t q) const {
+    // A few distinct keys, revisited: realistic cache traffic (mostly hits).
+    return (q * q + 7) % (slots_ * 2);
+  }
+
+  void task(std::size_t t) {
+    std::uint64_t sum = 0, hits = 0;
+    for (std::size_t q = 0; q < lookups_; ++q) {
+      const std::uint64_t key = key_of(q);
+      const std::size_t slot = std::size_t(key) % slots_;
+      std::uint64_t v;
+      if (cfg_.seeded_race) {
+        // Racy variant: the probe is still guarded but the fill is not, so
+        // two missing tasks write the table in parallel - a true race on
+        // keys_/vals_ (and torn key/value pairs in a real program).
+        bool hit;
+        {
+          InstrumentedLockGuard<Spinlock> g(mu_);
+          record_read(&keys_[slot], sizeof(keys_[slot]));
+          hit = keys_[slot] == key + 1;
+          if (hit) {
+            record_read(&vals_[slot], sizeof(vals_[slot]));
+            v = vals_[slot];
+          }
+        }
+        if (!hit) {
+          v = value_of(key);
+          record_write(&keys_[slot], sizeof(keys_[slot]));
+          record_write(&vals_[slot], sizeof(vals_[slot]));
+          keys_[slot] = key + 1;
+          vals_[slot] = v;
+        } else {
+          ++hits;
+        }
+      } else {
+        // Guarded variant: probe + fill under the one lock.  Every access
+        // to the shared table happens lock-held, so the lockset filter
+        // removes all cross-task pairs: zero races.
+        InstrumentedLockGuard<Spinlock> g(mu_);
+        record_read(&keys_[slot], sizeof(keys_[slot]));
+        if (keys_[slot] == key + 1) {
+          record_read(&vals_[slot], sizeof(vals_[slot]));
+          v = vals_[slot];
+          ++hits;
+        } else {
+          v = value_of(key);
+          record_write(&keys_[slot], sizeof(keys_[slot]));
+          record_write(&vals_[slot], sizeof(vals_[slot]));
+          keys_[slot] = key + 1;
+          vals_[slot] = v;
+        }
+      }
+      sum += v;
+    }
+    // Private per-task outputs: ordinary unguarded (non-racing) intervals.
+    record_write(&sums_[t], sizeof(sums_[t]));
+    sums_[t] = sum;
+    record_write(&hits_[t], sizeof(hits_[t]));
+    hits_[t] = hits;
+  }
+
+  KernelConfig cfg_;
+  std::size_t tasks_, lookups_, slots_;
+  Spinlock mu_;
+  std::vector<std::uint64_t> keys_, vals_;  // the shared cache table
+  std::vector<std::uint64_t> hits_, sums_;  // per-task private outputs
+};
+
+// ---------------------------------------------------------------------------
+// lktwin
+// ---------------------------------------------------------------------------
+
+class LockedTwinKernel final : public KernelInstance {
+ public:
+  explicit LockedTwinKernel(const KernelConfig& cfg) : cfg_(cfg) {
+    tasks_ = std::size_t(16.0 * cfg.scale);
+    if (tasks_ < 8) tasks_ = 8;
+    incs_ = 16;
+    counters_n_ = 4;
+  }
+  const char* name() const override { return "lktwin"; }
+  std::string config_string() const override {
+    return "tasks=" + std::to_string(tasks_) + " incs=" + std::to_string(incs_) +
+           " counters=" + std::to_string(counters_n_) +
+           (cfg_.seeded_race ? " unguarded" : " guarded");
+  }
+  void prepare() override {
+    counters_.assign(counters_n_, 0);
+    done_.assign(tasks_, 0);
+  }
+  void run() override {
+    split_tasks(0, tasks_, [this](std::size_t t) { task(t); });
+  }
+  bool verify() override {
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counters_) total += c;
+    for (std::size_t t = 0; t < tasks_; ++t) {
+      if (done_[t] != 1) return false;
+    }
+    // The unguarded twin runs the increments bare, so updates may be lost -
+    // only an upper bound holds there.
+    const std::uint64_t expect = std::uint64_t(tasks_) * incs_;
+    return cfg_.seeded_race ? total <= expect : total == expect;
+  }
+
+ private:
+  void task(std::size_t t) {
+    for (std::size_t i = 0; i < incs_; ++i) {
+      std::uint64_t& c = counters_[(t + i) % counters_n_];
+      if (cfg_.seeded_race) {
+        record_read(&c, sizeof(c));
+        const std::uint64_t v = c;
+        record_write(&c, sizeof(c));
+        c = v + 1;
+      } else {
+        InstrumentedLockGuard<Spinlock> g(mu_);
+        record_read(&c, sizeof(c));
+        const std::uint64_t v = c;
+        record_write(&c, sizeof(c));
+        c = v + 1;
+      }
+    }
+    record_write(&done_[t], sizeof(done_[t]));
+    done_[t] = 1;
+  }
+
+  KernelConfig cfg_;
+  std::size_t tasks_, incs_, counters_n_;
+  Spinlock mu_;
+  std::vector<std::uint64_t> counters_;
+  std::vector<std::uint64_t> done_;
+};
+
+}  // namespace
+
+std::unique_ptr<KernelInstance> make_lkcache(const KernelConfig& cfg) {
+  return std::make_unique<LockedCacheKernel>(cfg);
+}
+
+std::unique_ptr<KernelInstance> make_lktwin(const KernelConfig& cfg) {
+  return std::make_unique<LockedTwinKernel>(cfg);
+}
+
+}  // namespace pint::kernels

@@ -11,6 +11,8 @@ std::unique_ptr<KernelInstance> make_heat(const KernelConfig&);
 std::unique_ptr<KernelInstance> make_mmul(const KernelConfig&);
 std::unique_ptr<KernelInstance> make_stra(const KernelConfig&);
 std::unique_ptr<KernelInstance> make_straz(const KernelConfig&);
+std::unique_ptr<KernelInstance> make_lkcache(const KernelConfig&);
+std::unique_ptr<KernelInstance> make_lktwin(const KernelConfig&);
 
 std::unique_ptr<KernelInstance> make_kernel(const std::string& name,
                                             const KernelConfig& cfg) {
@@ -21,6 +23,11 @@ std::unique_ptr<KernelInstance> make_kernel(const std::string& name,
   if (name == "mmul") return make_mmul(cfg);
   if (name == "stra") return make_stra(cfg);
   if (name == "straz") return make_straz(cfg);
+  // Lock-scenario kernels: dispatchable by name but deliberately NOT in
+  // kernel_names() - the paper's seven-kernel sweeps (and the committed
+  // BENCH_access baselines keyed on them) must not change shape.
+  if (name == "lkcache") return make_lkcache(cfg);
+  if (name == "lktwin") return make_lktwin(cfg);
   PINT_CHECK_MSG(false, "unknown kernel name");
   return nullptr;
 }

@@ -16,8 +16,9 @@ OracleDetector::~OracleDetector() {
   for (StrandInfo* s : strands_) delete s;
 }
 
-OracleDetector::StrandInfo* OracleDetector::alloc_strand(const reach::Label& l) {
-  auto* s = new StrandInfo{l, ++next_sid_};
+OracleDetector::StrandInfo* OracleDetector::alloc_strand(
+    const reach::Engine::Label& l, detect::lockset_t lsid) {
+  auto* s = new StrandInfo{l, ++next_sid_, lsid};
   strands_.push_back(s);
   return s;
 }
@@ -34,6 +35,9 @@ void OracleDetector::record(StrandInfo* who, detect::addr_t lo,
         continue;  // a strand cannot race with itself
       }
       if (!prev.write && !write) continue;  // read-read never races
+      if (detect::locksets_share(prev.who->lsid, who->lsid)) {
+        continue;  // both segments held a common mutex: not a race
+      }
       if (reach_.parallel(prev.who->label, who->label)) {
         auto a_sid = prev.who->sid, b_sid = who->sid;
         if (a_sid > b_sid) std::swap(a_sid, b_sid);
@@ -80,8 +84,36 @@ void OracleDetector::on_spawn(rt::Worker&, rt::TaskFrame& parent,
     blk.det_sync = j;
   }
   const auto labels = reach_.on_spawn(u->label, &j->label);
+  // Same lockset rule as every detector: the continuation inherits the
+  // parent's held locks, the child starts empty (see StintDetector).
   child.det_strand = alloc_strand(labels.child);
-  parent.det_cont = alloc_strand(labels.cont);
+  parent.det_cont = alloc_strand(labels.cont, u->lsid);
+}
+
+void OracleDetector::on_lock_event(rt::TaskFrame& f, detect::addr_t lock,
+                                   bool acquire) {
+  auto* u = static_cast<StrandInfo*>(f.det_strand);
+  PINT_ASSERT(u != nullptr);
+  auto& tbl = detect::LocksetTable::instance();
+  const detect::lockset_t nid =
+      acquire ? tbl.acquire(u->lsid, lock) : tbl.release(u->lsid, lock);
+  if (nid == u->lsid) return;
+  // New segment: same label (sibling segments are ordered by neither order,
+  // so they can never be judged parallel), fresh sid so the per-byte dedup
+  // re-records accesses under the new lockset.
+  f.det_strand = alloc_strand(u->label, nid);
+}
+
+void OracleDetector::on_lock_acquire(rt::Worker&, rt::TaskFrame& f,
+                                     detect::addr_t lock) {
+  if (!opt_.tuning.lock_edges) return;
+  on_lock_event(f, lock, true);
+}
+
+void OracleDetector::on_lock_release(rt::Worker&, rt::TaskFrame& f,
+                                     detect::addr_t lock) {
+  if (!opt_.tuning.lock_edges) return;
+  on_lock_event(f, lock, false);
 }
 
 void OracleDetector::on_spawn_return(rt::Worker&, rt::TaskFrame& child,
@@ -106,6 +138,7 @@ void OracleDetector::on_after_sync(rt::Worker&, rt::TaskFrame& f,
 detect::RunResult OracleDetector::run(std::function<void()> fn) {
   PINT_CHECK_MSG(!used_, "OracleDetector instances are single-use");
   used_ = true;
+  opt_.tuning.apply_globals();
   rt::Scheduler::Options so;
   so.workers = 1;
   so.hooks = this;

@@ -24,7 +24,7 @@
 #include "detect/run_result.hpp"
 #include "detect/stats.hpp"
 #include "detect/strand.hpp"
-#include "reach/sp_order.hpp"
+#include "reach/engine.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace pint::oracle {
@@ -68,6 +68,10 @@ class OracleDetector final : public detect::Detector,
                  detect::addr_t hi, bool is_write) override;
   void on_heap_free(rt::Worker& w, rt::TaskFrame& f, void* base,
                     detect::addr_t lo, detect::addr_t hi) override;
+  void on_lock_acquire(rt::Worker& w, rt::TaskFrame& f,
+                       detect::addr_t lock) override;
+  void on_lock_release(rt::Worker& w, rt::TaskFrame& f,
+                       detect::addr_t lock) override;
   const char* name() const override { return "oracle"; }
 
   // --- rt::SchedulerHooks ---
@@ -81,15 +85,18 @@ class OracleDetector final : public detect::Detector,
 
  private:
   struct StrandInfo {
-    reach::Label label;
+    reach::Engine::Label label;
     std::uint64_t sid;
+    detect::lockset_t lsid = 0;  // lockset held during this segment
   };
   struct Access {
     StrandInfo* who;
     bool write;
   };
 
-  StrandInfo* alloc_strand(const reach::Label& l);
+  StrandInfo* alloc_strand(const reach::Engine::Label& l,
+                           detect::lockset_t lsid = 0);
+  void on_lock_event(rt::TaskFrame& f, detect::addr_t lock, bool acquire);
   void record(StrandInfo* who, detect::addr_t lo, detect::addr_t hi, bool write);
   void clear_range(detect::addr_t lo, detect::addr_t hi);
 

@@ -1,49 +1,13 @@
 #pragma once
 
-// Umbrella header for the PINT library.
-//
-// Quickstart:
-//
-//   #include "pint.hpp"
-//
-//   void work(std::vector<long>& v) {
-//     pint::rt::SpawnScope sc;                  // a Cilk sync block
-//     sc.spawn([&] {
-//       pint::record_write(&v[0], 8);           // instrument accesses
-//       v[0] = 1;
-//     });
-//     pint::record_write(&v[0], 8);             // races with the child!
-//     v[0] = 2;
-//     sc.sync();                                 // (also implicit in ~SpawnScope)
-//   }
-//
-//   int main() {
-//     std::vector<long> v(1);
-//     pint::pintd::PintDetector::Options opt;
-//     opt.core_workers = 4;                      // + 3 treap workers
-//     pint::pintd::PintDetector det(opt);
-//     det.run([&] { work(v); });
-//     return det.reporter().any() ? 1 : 0;
-//   }
-//
-// Components (see DESIGN.md for the architecture):
-//   rt::Scheduler / rt::SpawnScope   - fork-join work-stealing runtime
-//   pintd::PintDetector              - the parallel interval-based detector
-//   stint::StintDetector             - sequential baseline (ALENEX'22)
-//   cracer::CracerDetector           - per-access shadow-memory baseline
-//   oracle::OracleDetector           - exact reference for tests
-//   detect::DetectorRunner           - the shared run/reporter/stats seam
-//   record_read/record_write         - instrumentation facade
-//   dmalloc/dfree                    - detector-aware heap allocation
-//   telem::*                         - span tracing + Chrome-trace export
+// Deprecated umbrella header.  The stable public include is pint_api.hpp,
+// which adds the DetectorKind/DetectorSpec/make_detector factory and the
+// PINT_* instrumentation macros on top of everything this header exposed.
+// This alias stays so existing includes keep compiling; new code should
+// include "pint_api.hpp".
 
-#include "cracer/cracer_detector.hpp"
-#include "detect/instrument.hpp"
-#include "detect/run_result.hpp"
-#include "kernels/kernels.hpp"
-#include "oracle/oracle_detector.hpp"
-#include "pint/pint_detector.hpp"
-#include "runtime/parallel_for.hpp"
-#include "runtime/scheduler.hpp"
-#include "stint/stint_detector.hpp"
-#include "support/telemetry.hpp"
+#pragma message( \
+    "pint.hpp is deprecated: include \"pint_api.hpp\" instead (same " \
+    "contents plus the detector factory and PINT_* macros)")
+
+#include "pint_api.hpp"

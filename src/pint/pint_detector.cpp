@@ -150,38 +150,16 @@ PintDetector::PintDetector(const Options& opt)
   }
 }
 
-PintDetector::~PintDetector() {
-  for (auto& ws : ws_) {
-    for (Strand* s : ws->owned) delete s;
-  }
-}
+PintDetector::~PintDetector() = default;
 
 // ---------------------------------------------------------------------------
 // Pools
 // ---------------------------------------------------------------------------
 
 Strand* PintDetector::alloc_strand(CoreWS& ws) {
-  Strand* s = nullptr;
-  {
-    LockGuard<Spinlock> g(ws.pool_mu);
-    if (ws.free_list != nullptr) {
-      s = ws.free_list;
-      ws.free_list = s->pool_next;
-    }
-  }
-  if (s == nullptr) {
-    if (PINT_UNLIKELY(PINT_FAILPOINT("pool.alloc"))) {
-      s = strand_fallback(ws);
-    } else {
-      try {
-        auto fresh = std::make_unique<Strand>();
-        ws.owned.push_back(fresh.get());  // may itself throw bad_alloc
-        s = fresh.release();
-      } catch (const std::bad_alloc&) {
-        s = strand_fallback(ws);
-      }
-    }
-  }
+  Strand* s = pool_take(ws.pool_mu, ws.pool, ws.owned,
+                        [](Strand*) { /* reset(sid) below */ });
+  if (PINT_UNLIKELY(s == nullptr)) s = strand_fallback(ws);
   const std::uint64_t sid =
       (std::uint64_t(ws.index + 1) << 40) | ++ws.next_sid;
   s->reset(sid);
@@ -225,9 +203,9 @@ Strand* PintDetector::strand_fallback(CoreWS& ws) {
   for (;;) {
     {
       LockGuard<Spinlock> g(ws.pool_mu);
-      if (ws.free_list != nullptr) {
-        Strand* s = ws.free_list;
-        ws.free_list = s->pool_next;
+      if (!ws.pool.empty()) {
+        Strand* s = ws.pool.back();
+        ws.pool.pop_back();
         return s;
       }
     }
@@ -318,8 +296,7 @@ void PintDetector::recycle_strand(Strand* s) {
   CoreWS& ws = *ws_[s->owner_worker];
   strands_outstanding_.fetch_sub(1, std::memory_order_relaxed);
   LockGuard<Spinlock> g(ws.pool_mu);
-  s->pool_next = ws.free_list;
-  ws.free_list = s;
+  ws.pool.push_back(s);
 }
 
 Trace* PintDetector::alloc_trace() {
@@ -427,6 +404,51 @@ void PintDetector::on_heap_free(rt::Worker&, rt::TaskFrame& f, void* base,
   s->frees.push_back({base, lo, hi});
 }
 
+void PintDetector::on_lock_event(rt::Worker& w, rt::TaskFrame& f,
+                                 detect::addr_t lock, bool acquire) {
+  auto& ws = *static_cast<CoreWS*>(w.det_worker);
+  auto* u = static_cast<Strand*>(f.det_strand);
+  PINT_ASSERT(u != nullptr);
+  auto& tbl = detect::LocksetTable::instance();
+  const detect::lockset_t nid =
+      acquire ? tbl.acquire(u->lsid, lock) : tbl.release(u->lsid, lock);
+  if (nid == u->lsid) return;  // recursive re-acquire / unmatched release
+  cursor_flush(ws);
+  if (!u->has_work()) {
+    // Nothing recorded under the old lockset yet: relabel in place instead
+    // of emitting an empty segment (the common acquire-then-touch shape).
+    u->lsid = nid;
+    detect::cursor_install(&u->reads, &u->writes, opt_.coalesce);
+    return;
+  }
+  // Split: seal the old segment and continue on a fresh strand with the
+  // SAME reachability label (no HB edge - same-label segments are ordered
+  // by neither order, so they are never judged parallel) but a new sid and
+  // the new lockset.  u keeps its pred gate / first-of-trace role; v
+  // follows it in series within the same trace, so the DAG-conforming
+  // collection order is unchanged.
+  seal_strand(ws, u);
+  Strand* v = alloc_strand(ws);
+  v->label = u->label;
+  v->tag = u->tag;
+  v->lsid = nid;
+  f.det_strand = v;
+  trace_push(ws, u);
+  detect::cursor_install(&v->reads, &v->writes, opt_.coalesce);
+}
+
+void PintDetector::on_lock_acquire(rt::Worker& w, rt::TaskFrame& f,
+                                   detect::addr_t lock) {
+  if (!opt_.tuning.lock_edges) return;
+  on_lock_event(w, f, lock, true);
+}
+
+void PintDetector::on_lock_release(rt::Worker& w, rt::TaskFrame& f,
+                                   detect::addr_t lock) {
+  if (!opt_.tuning.lock_edges) return;
+  on_lock_event(w, f, lock, false);
+}
+
 // ---------------------------------------------------------------------------
 // rt::SchedulerHooks (Algorithm 1)
 // ---------------------------------------------------------------------------
@@ -471,6 +493,10 @@ void PintDetector::on_spawn(rt::Worker& w, rt::TaskFrame& parent,
   Strand* t = alloc_strand(ws);  // continuation strand
   t->label = labels.cont;
   t->tag = parent.task_name;
+  // Lockset rule (same as every detector): the continuation still holds the
+  // parent's locks; the child may run on a worker that does not, so it
+  // starts empty (as does the sync node).
+  t->lsid = u->lsid;
   t->pred.store(1, std::memory_order_relaxed);  // Algorithm 1, line 8
   u->collect_child = t;  // "u is a spawn node" case of Algorithm 2
 
@@ -659,10 +685,10 @@ void PintDetector::process_writer(Strand* s) {
       // queue-order argument of paper SIII-F is unchanged).
     } else if (opt_.history == detect::HistoryKind::kTreap) {
       detect::process_writer_treap(writer_treap_, *s, reach_, rep_, stats_,
-                                   &memo_writer_);
+                                   opt_.tuning.memo ? &memo_writer_ : nullptr);
     } else {
       detect::process_writer_treap(writer_map_, *s, reach_, rep_, stats_,
-                                   &memo_writer_);
+                                   opt_.tuning.memo ? &memo_writer_ : nullptr);
     }
     // Deferred frees become real here: any later reuse of this memory is by
     // a strand collected after s, so each treap erases the range before
@@ -825,17 +851,20 @@ void PintDetector::reader_loop(ReaderSide side) {
   // walking the writer treap (strands that both wrote and read a region
   // appear in all three stores) is served from cache here too.  Pipelined
   // mode keeps one single-threaded cache per lane.
-  reach::MemoCache& memo =
-      seq_history_ ? memo_writer_ : (left ? memo_lreader_ : memo_rreader_);
+  reach::Engine::Memo* memo =
+      !opt_.tuning.memo
+          ? nullptr
+          : (seq_history_ ? &memo_writer_
+                          : (left ? &memo_lreader_ : &memo_rreader_));
   consume_loop(lane, [&](Strand* s) {
     watch.start();
     {
       // Nested inside the watch (see process_writer): span sum ~= *_ns.
       telem::ScopedSpan span(span_name);
       if (use_treap) {
-        detect::process_reader_treap(t, *s, reach_, rep_, stats_, side, &memo);
+        detect::process_reader_treap(t, *s, reach_, rep_, stats_, side, memo);
       } else {
-        detect::process_reader_treap(m, *s, reach_, rep_, stats_, side, &memo);
+        detect::process_reader_treap(m, *s, reach_, rep_, stats_, side, memo);
       }
     }
     watch.stop();
@@ -855,7 +884,7 @@ void PintDetector::shard_loop(int shard) {
     hs.watch.start();
     {
       PINT_TSPAN("shard.strand");
-      hs.process(*s, shard, n, reach_, rep_, stats_);
+      hs.process(*s, shard, n, reach_, rep_, stats_, opt_.tuning.memo);
     }
     hs.watch.stop();
   });
@@ -988,6 +1017,9 @@ void PintDetector::dump_progress(const char* stalled) {
 RunResult PintDetector::run(std::function<void()> fn) {
   PINT_CHECK_MSG(!used_, "PintDetector instances are single-use");
   used_ = true;
+  // Tuning snapshot -> process globals (access fast path, cursor policy,
+  // bulk apply); the per-detector knobs are read from opt_.tuning directly.
+  opt_.tuning.apply_globals();
   RunResult result;
 
   set_run_context("seed=%llu cw=%d shards=%d mode=%s",

@@ -36,7 +36,7 @@
 #include "pint/ah_queue.hpp"
 #include "pint/sharded_history.hpp"
 #include "pint/trace.hpp"
-#include "reach/sp_order.hpp"
+#include "reach/engine.hpp"
 #include "runtime/scheduler.hpp"
 #include "support/timer.hpp"
 #include "support/watchdog.hpp"
@@ -93,7 +93,7 @@ class PintDetector final : public detect::Detector,
   const detect::Stats& stats() const override { return stats_; }
   reach::Engine& reachability() { return reach_; }
   /// Valid after run() when Options::record_collection_order was set.
-  const std::vector<reach::Label>& collection_order() const {
+  const std::vector<reach::Engine::Label>& collection_order() const {
     return collection_log_;
   }
 
@@ -102,6 +102,10 @@ class PintDetector final : public detect::Detector,
                  detect::addr_t hi, bool is_write) override;
   void on_heap_free(rt::Worker& w, rt::TaskFrame& f, void* base,
                     detect::addr_t lo, detect::addr_t hi) override;
+  void on_lock_acquire(rt::Worker& w, rt::TaskFrame& f,
+                       detect::addr_t lock) override;
+  void on_lock_release(rt::Worker& w, rt::TaskFrame& f,
+                       detect::addr_t lock) override;
   const char* name() const override { return "PINT"; }
 
   // --- rt::SchedulerHooks (Algorithm 1 events) ---
@@ -137,10 +141,13 @@ class PintDetector final : public detect::Detector,
     std::uint64_t cursor_spills = 0, policy_switches = 0, policy_bypass = 0;
     // consumer side (owned by the writer treap worker)
     Trace* ccur = nullptr;
-    // strand pool: owner pops, writer treap worker returns
+    // Strand pool: owner pops, writer treap worker returns.  Same
+    // vector-pool shape as the trace/chunk pools so all three share the
+    // pool_take() idiom (and ownership stays with the unique_ptrs - the
+    // Trace doc contract: callers allocate, pools never own ad hoc).
     Spinlock pool_mu;
-    detect::Strand* free_list = nullptr;
-    std::vector<detect::Strand*> owned;  // for destruction
+    std::vector<detect::Strand*> pool;
+    std::vector<std::unique_ptr<detect::Strand>> owned;
   };
 
   /// One queue consumer's monitored state: a heartbeat for the watchdog
@@ -164,6 +171,10 @@ class PintDetector final : public detect::Detector,
   /// counters into ws.  Must run before seal_strand() of the cursor's
   /// strand (pending cursor intervals land in the strand's AccessBuffers).
   void cursor_flush(CoreWS& ws);
+  /// Lockset transition: splits the current strand into a new segment with
+  /// the same label and a fresh sid/lsid (see detect/strand.hpp).
+  void on_lock_event(rt::Worker& w, rt::TaskFrame& f, detect::addr_t lock,
+                     bool acquire);
 
   // graceful degradation (allocation-failure paths)
   void note_oom(const char* what);
@@ -206,9 +217,9 @@ class PintDetector final : public detect::Detector,
   // Per-history-worker precedes() memo caches: each is touched only by the
   // one thread that owns the matching store (sharded mode keeps its own
   // cache inside each HistoryShard).
-  reach::MemoCache memo_writer_;
-  reach::MemoCache memo_lreader_;
-  reach::MemoCache memo_rreader_;
+  reach::Engine::Memo memo_writer_;
+  reach::Engine::Memo memo_lreader_;
+  reach::Engine::Memo memo_rreader_;
   std::vector<std::unique_ptr<HistoryShard>> shards_;
 
   std::vector<std::unique_ptr<CoreWS>> ws_;
@@ -265,7 +276,7 @@ class PintDetector final : public detect::Detector,
   std::atomic<std::int64_t> strands_outstanding_{0};
 
   StopwatchAccum writer_watch_, lreader_watch_, rreader_watch_;
-  std::vector<reach::Label> collection_log_;  // writer-thread only
+  std::vector<reach::Engine::Label> collection_log_;  // writer-thread only
 };
 
 }  // namespace pint::pintd

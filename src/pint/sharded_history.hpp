@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "detect/history.hpp"
+#include "reach/engine.hpp"
 #include "support/assert.hpp"
 #include "support/timer.hpp"
 #include "treap/interval_treap.hpp"
@@ -64,7 +65,7 @@ struct HistoryShard {
   StopwatchAccum watch;
   // precedes() memo - touched only by this shard's worker thread, like the
   // treaps above.  Counters summed into Stats at run end (quiescence).
-  reach::MemoCache memo;
+  reach::Engine::Memo memo;
 
   HistoryShard(std::uint64_t seed_w, std::uint64_t seed_l, std::uint64_t seed_r)
       : writer(seed_w), lreader(seed_l), rreader(seed_r) {}
@@ -82,10 +83,11 @@ struct HistoryShard {
   /// interleaving of the three stores' reports within a strand moves.
   void process(const detect::Strand& s, int shard, int nshards,
                reach::Engine& reach, detect::RaceReporter& rep,
-               detect::Stats& stats) {
+               detect::Stats& stats, bool use_memo = true) {
     using detect::ReaderSide;
     const treap::Accessor me = detect::accessor_of(s);
     const bool bulk = detect::bulk_apply();
+    reach::Engine::Memo* const mm = use_memo ? &memo : nullptr;
 
     if (bulk && s.reads.canonical()) {
       gather_pieces(s.reads.items(), shard, nshards);
@@ -93,13 +95,13 @@ struct HistoryShard {
         detect::note_bulk_run(stats, run_buf_.size());
         writer.query_run(run_buf_.data(), run_buf_.size(),
                          detect::make_conflict_cb(me, true, false, reach, rep,
-                                                  stats, &memo));
+                                                  stats, mm));
       }
     } else {
       for (const detect::Interval& r : s.reads.items()) {
         for_shard_pieces(r.lo, r.hi, shard, nshards, [&](auto lo, auto hi) {
           writer.query(lo, hi, detect::make_conflict_cb(me, true, false, reach,
-                                                        rep, stats, &memo));
+                                                        rep, stats, mm));
         });
       }
     }
@@ -109,31 +111,31 @@ struct HistoryShard {
         detect::note_bulk_run(stats, run_buf_.size() * 3);
         lreader.query_run(run_buf_.data(), run_buf_.size(),
                           detect::make_conflict_cb(me, false, true, reach, rep,
-                                                   stats, &memo));
+                                                   stats, mm));
         rreader.query_run(run_buf_.data(), run_buf_.size(),
                           detect::make_conflict_cb(me, false, true, reach, rep,
-                                                   stats, &memo));
+                                                   stats, mm));
         writer.insert_writer_run(run_buf_.data(), run_buf_.size(), me,
                                  detect::make_conflict_cb(me, true, true, reach,
-                                                          rep, stats, &memo));
+                                                          rep, stats, mm));
       }
     } else {
       for (const detect::Interval& w : s.writes.items()) {
         for_shard_pieces(w.lo, w.hi, shard, nshards, [&](auto lo, auto hi) {
           lreader.query(lo, hi, detect::make_conflict_cb(me, false, true, reach,
-                                                         rep, stats, &memo));
+                                                         rep, stats, mm));
           rreader.query(lo, hi, detect::make_conflict_cb(me, false, true, reach,
-                                                         rep, stats, &memo));
+                                                         rep, stats, mm));
           writer.insert_writer(lo, hi, me,
                                detect::make_conflict_cb(me, true, true, reach,
-                                                        rep, stats, &memo));
+                                                        rep, stats, mm));
         });
       }
     }
     const auto lresolve = detect::make_reader_resolver(
-        me, reach, stats, ReaderSide::kLeftMost, &memo);
+        me, reach, stats, ReaderSide::kLeftMost, mm);
     const auto rresolve = detect::make_reader_resolver(
-        me, reach, stats, ReaderSide::kRightMost, &memo);
+        me, reach, stats, ReaderSide::kRightMost, mm);
     if (bulk && s.reads.canonical()) {
       gather_pieces(s.reads.items(), shard, nshards);
       if (!run_buf_.empty()) {

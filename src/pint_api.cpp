@@ -1,0 +1,39 @@
+#include "pint_api.hpp"
+
+#include "support/assert.hpp"
+
+namespace pint {
+
+std::unique_ptr<detect::DetectorRunner> make_detector(
+    const DetectorSpec& spec) {
+  switch (spec.kind) {
+    case DetectorKind::kPint: {
+      pintd::PintDetector::Options o;
+      static_cast<detect::CommonOptions&>(o) = spec.common;
+      o.core_workers = spec.workers;
+      o.parallel_history = spec.parallel_history;
+      o.history_shards = spec.history_shards;
+      return std::make_unique<pintd::PintDetector>(o);
+    }
+    case DetectorKind::kStint: {
+      stint::StintDetector::Options o;
+      static_cast<detect::CommonOptions&>(o) = spec.common;
+      return std::make_unique<stint::StintDetector>(o);
+    }
+    case DetectorKind::kCracer: {
+      cracer::CracerDetector::Options o;
+      static_cast<detect::CommonOptions&>(o) = spec.common;
+      o.workers = spec.workers;
+      return std::make_unique<cracer::CracerDetector>(o);
+    }
+    case DetectorKind::kOracle: {
+      oracle::OracleDetector::Options o;
+      static_cast<detect::CommonOptions&>(o) = spec.common;
+      return std::make_unique<oracle::OracleDetector>(o);
+    }
+  }
+  PINT_CHECK_MSG(false, "unknown DetectorKind");
+  return nullptr;
+}
+
+}  // namespace pint

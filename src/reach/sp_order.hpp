@@ -48,7 +48,7 @@ struct Relation {
   bool heb = false;  // u before v in the Hebrew order
 };
 
-/// Bump-tolerant pair memo for Engine::relation().  One cache per history
+/// Bump-tolerant pair memo for SpOrderEngine::relation().  One cache per history
 /// worker - strictly single-threaded, like the treap it sits next to.
 ///
 /// Caches (label pair -> Relation) like the PR 4 memo, but validity is keyed
@@ -113,7 +113,7 @@ class MemoCache {
   std::uint64_t fills = 0;
 
  private:
-  friend class Engine;
+  friend class SpOrderEngine;
   struct alignas(64) Entry {  // exactly one cache line per probe
     const om::Item* u = nullptr;  // key: the pair's English items
     const om::Item* v = nullptr;
@@ -136,11 +136,18 @@ class MemoCache {
   std::vector<Entry> entries_;
 };
 
-class Engine {
+/// The SP-order (fork-join) happens-before backend.  Consumers name it
+/// through the `reach::Engine` alias selected in reach/engine.hpp; the
+/// nested aliases below are the concept's required surface.
+class SpOrderEngine {
  public:
-  Engine() = default;
-  Engine(const Engine&) = delete;
-  Engine& operator=(const Engine&) = delete;
+  using Label = reach::Label;
+  using Relation = reach::Relation;
+  using Memo = MemoCache;
+
+  SpOrderEngine() = default;
+  SpOrderEngine(const SpOrderEngine&) = delete;
+  SpOrderEngine& operator=(const SpOrderEngine&) = delete;
 
   /// Label of the initial strand (the whole computation's first strand).
   Label root_label() { return {eng_.base(), heb_.base()}; }
@@ -165,6 +172,11 @@ class Engine {
     }
     return out;
   }
+
+  /// Maintenance hooks an order-per-worker backend (DePa) needs; SP-order
+  /// labels encode reachability globally, so both are no-ops here.
+  void on_steal(const Label&) {}
+  void on_join(const Label&, const Label&) {}
 
   /// Both order verdicts for (u, v), optionally memoized.  With a memo the
   /// pair's cached verdict is served when its four sublists are untouched

@@ -60,6 +60,7 @@ void StintDetector::cursor_flush() {
 void StintDetector::process_strand(Strand* s) {
   cursor_flush();  // pending cursor intervals land in s before the seal
   seal_strand(s);
+  reach::Engine::Memo* memo = opt_.tuning.memo ? &memo_ : nullptr;
   // STINT's history runs inline on the execution thread; the two spans make
   // its writer/reader phases comparable with PINT's asynchronous tracks.
   writer_watch_.start();
@@ -69,10 +70,10 @@ void StintDetector::process_strand(Strand* s) {
     PINT_TSPAN("stint.writer");
     if (opt_.history == detect::HistoryKind::kTreap) {
       detect::process_writer_treap(writer_treap_, *s, reach_, rep_, stats_,
-                                   &memo_);
+                                   memo);
     } else {
       detect::process_writer_treap(writer_map_, *s, reach_, rep_, stats_,
-                                   &memo_);
+                                   memo);
     }
   }
   writer_watch_.stop();
@@ -81,14 +82,56 @@ void StintDetector::process_strand(Strand* s) {
     PINT_TSPAN("stint.reader");
     if (opt_.history == detect::HistoryKind::kTreap) {
       detect::process_reader_treap(reader_treap_, *s, reach_, rep_, stats_,
-                                   detect::ReaderSide::kSerial, &memo_);
+                                   detect::ReaderSide::kSerial, memo);
     } else {
       detect::process_reader_treap(reader_map_, *s, reach_, rep_, stats_,
-                                   detect::ReaderSide::kSerial, &memo_);
+                                   detect::ReaderSide::kSerial, memo);
     }
   }
   reader_watch_.stop();
   recycle_strand(s);
+}
+
+// --- lock events (DESIGN.md §12) ---------------------------------------
+
+void StintDetector::on_lock_event(rt::TaskFrame& f, detect::addr_t lock,
+                                  bool acquire) {
+  auto* u = static_cast<Strand*>(f.det_strand);
+  PINT_ASSERT(u != nullptr);
+  auto& tbl = detect::LocksetTable::instance();
+  const detect::lockset_t nid =
+      acquire ? tbl.acquire(u->lsid, lock) : tbl.release(u->lsid, lock);
+  if (nid == u->lsid) return;  // recursive acquire / unmatched release
+  cursor_flush();
+  if (!u->has_work()) {
+    // Nothing recorded under the old lockset: relabel the segment in place.
+    u->lsid = nid;
+    detect::cursor_install(&u->reads, &u->writes, opt_.coalesce);
+    return;
+  }
+  // Seal the segment recorded under the old lockset and continue at the
+  // same DAG position: the successor keeps u's label (equal labels are
+  // ordered by neither order, so sibling segments can never race with each
+  // other) under a fresh sid + the new lockset id.
+  Strand* v = alloc_strand();
+  v->label = u->label;
+  v->tag = u->tag;
+  v->lsid = nid;
+  f.det_strand = v;
+  process_strand(u);
+  detect::cursor_install(&v->reads, &v->writes, opt_.coalesce);
+}
+
+void StintDetector::on_lock_acquire(rt::Worker&, rt::TaskFrame& f,
+                                    detect::addr_t lock) {
+  if (!opt_.tuning.lock_edges) return;
+  on_lock_event(f, lock, true);
+}
+
+void StintDetector::on_lock_release(rt::Worker&, rt::TaskFrame& f,
+                                    detect::addr_t lock) {
+  if (!opt_.tuning.lock_edges) return;
+  on_lock_event(f, lock, false);
 }
 
 // --- memory events -----------------------------------------------------
@@ -159,6 +202,10 @@ void StintDetector::on_spawn(rt::Worker&, rt::TaskFrame& parent,
   Strand* t = alloc_strand();
   t->label = labels.cont;
   t->tag = parent.task_name;
+  // The continuation still holds whatever the parent held at the spawn; the
+  // child starts with an empty lockset (it may run on another worker that
+  // does NOT hold the parent's mutexes - inheriting would hide real races).
+  t->lsid = u->lsid;
   child.det_strand = g;
   parent.det_cont = t;
   process_strand(u);
@@ -206,6 +253,7 @@ void StintDetector::on_after_sync(rt::Worker&, rt::TaskFrame& f,
 detect::RunResult StintDetector::run(std::function<void()> fn) {
   PINT_CHECK_MSG(!used_, "StintDetector instances are single-use");
   used_ = true;
+  opt_.tuning.apply_globals();
 
   rt::Scheduler::Options so;
   so.workers = 1;  // STINT executes the computation sequentially

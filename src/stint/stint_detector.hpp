@@ -24,7 +24,7 @@
 #include "detect/run_result.hpp"
 #include "detect/stats.hpp"
 #include "detect/strand.hpp"
-#include "reach/sp_order.hpp"
+#include "reach/engine.hpp"
 #include "runtime/scheduler.hpp"
 #include "support/timer.hpp"
 #include "treap/interval_treap.hpp"
@@ -55,6 +55,10 @@ class StintDetector final : public detect::Detector,
                  detect::addr_t hi, bool is_write) override;
   void on_heap_free(rt::Worker& w, rt::TaskFrame& f, void* base,
                     detect::addr_t lo, detect::addr_t hi) override;
+  void on_lock_acquire(rt::Worker& w, rt::TaskFrame& f,
+                       detect::addr_t lock) override;
+  void on_lock_release(rt::Worker& w, rt::TaskFrame& f,
+                       detect::addr_t lock) override;
   const char* name() const override { return "STINT"; }
 
   // --- rt::SchedulerHooks ---
@@ -79,6 +83,9 @@ class StintDetector final : public detect::Detector,
   void process_strand(detect::Strand* s);
   void seal_strand(detect::Strand* s);
   void cursor_flush();
+  /// Lockset change: seal the running segment, continue under the same
+  /// label with the new lockset id (DESIGN.md §12).
+  void on_lock_event(rt::TaskFrame& f, detect::addr_t lock, bool acquire);
 
   Options opt_;
   reach::Engine reach_;
@@ -92,7 +99,7 @@ class StintDetector final : public detect::Detector,
   // shared by the writer and reader phases: a strand pair judged while
   // walking the writer treap is served from cache again in the reader walk
   // (strands that both wrote and read a region sit in both stores).
-  reach::MemoCache memo_;
+  reach::Engine::Memo memo_;
 
   detect::Strand* free_list_ = nullptr;
   std::vector<detect::Strand*> owned_;

@@ -27,7 +27,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "reach/sp_order.hpp"
+#include "reach/engine.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
 
@@ -38,9 +38,10 @@ using addr_t = std::uint64_t;
 /// Persistent identity of an interval's accessor. Kept in the treap after
 /// the transient strand record is recycled (labels live in the OM arenas).
 struct Accessor {
-  reach::Label label;
+  reach::Engine::Label label;
   std::uint64_t sid = 0;  // strand id, for reporting and self-access checks
   const char* tag = nullptr;  // optional task name, surfaced in race reports
+  std::uint32_t lsid = 0;     // interned lockset held during the accesses
 };
 
 class IntervalTreap {

@@ -25,7 +25,7 @@
 
 #include "common.hpp"
 #include "kernels/kernels.hpp"
-#include "reach/sp_order.hpp"
+#include "reach/engine.hpp"
 
 using namespace pint;
 

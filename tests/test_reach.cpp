@@ -6,7 +6,7 @@
 #include <memory>
 #include <vector>
 
-#include "reach/sp_order.hpp"
+#include "reach/engine.hpp"
 #include "support/rng.hpp"
 
 using namespace pint;
