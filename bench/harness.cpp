@@ -96,6 +96,15 @@ std::vector<std::pair<std::string, std::uint64_t>> stats_kv(
       {"slowpath_accesses", s.slowpath_accesses},
       {"memo_queries", s.memo_queries},
       {"memo_hits", s.memo_hits},
+      {"tail_probe_hits", s.tail_probe_hits},
+      {"tail_probe_misses", s.tail_probe_misses},
+      {"empty_strand_skips", s.empty_strand_skips},
+      {"finalize_sorted_skips", s.finalize_sorted_skips},
+      {"finalize_simd", s.finalize_simd},
+      {"arena_reuses", s.arena_reuses},
+      {"arena_fresh", s.arena_fresh},
+      {"tier_compactions", s.tier_compactions},
+      {"tier_cold_hits", s.tier_cold_hits},
       {"bulk_runs", s.bulk_runs},
       {"bulk_run_intervals", s.bulk_run_intervals},
       {"batch_drains", s.batch_drains},
@@ -131,7 +140,9 @@ BenchResult run_once(const RunSpec& spec, bool traced) {
   k->prepare();
 
   BenchResult r;
+  Timer setup;
   auto runner = make_runner(spec);
+  r.setup_seconds = setup.elapsed_s();
   if (runner == nullptr) {
     rt::Scheduler::Options so;
     so.workers = spec.workers;

@@ -21,6 +21,10 @@
 #   scripts/ci.sh locks      # lockset matrix suite (ctest -L locks):
 #                            # guarded/unguarded twin kernels through every
 #                            # detector, in the plain AND the TSan builds
+#   scripts/ci.sh simd       # hot-path knob suite (ctest -L simd): arena /
+#                            # tier / SIMD-finalize bit-identity, in the
+#                            # portable build AND a -DPINT_MARCH_NATIVE=ON
+#                            # build (native vs scalar-fallback codegen)
 #   scripts/ci.sh perfgate   # perf-regression gate: re-runs both micro
 #                            # benches and fails on a >10% geomean
 #                            # regression vs the committed BENCH_*.json, or
@@ -38,7 +42,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 LANES=("$@")
 if [ ${#LANES[@]} -eq 0 ]; then
-  LANES=(tier1 tsan asan faults telemetry perf bulkapply locks perfgate)
+  LANES=(tier1 tsan asan faults telemetry perf bulkapply locks simd perfgate)
 fi
 
 build_dir() {
@@ -84,6 +88,20 @@ run_lane() {
       (cd build && ctest --output-on-failure -L locks)
       build_dir build-tsan thread
       (cd build-tsan && ctest --output-on-failure -L locks)
+      return
+      ;;
+    simd)
+      # The vectorized finalize must be bit-identical to the scalar merge
+      # under BOTH codegen flavors: the portable default build (runtime AVX2
+      # dispatch only) and a -march=native build (the compiler may also
+      # auto-vectorize the scalar twin - the knob matrix still has to agree).
+      echo "=== lane: simd (build dirs: build, build-native) ==="
+      build_dir build ""
+      (cd build && ctest --output-on-failure -L simd)
+      cmake -B build-native -S . -DCMAKE_BUILD_TYPE=Release \
+        -DPINT_MARCH_NATIVE=ON
+      cmake --build build-native -j "$JOBS"
+      (cd build-native && ctest --output-on-failure -L simd)
       return
       ;;
     telemetry)

@@ -7,10 +7,15 @@ compares them against the committed BENCH_access.json / BENCH_treap.json
 
   * the access lane's geomean detection overhead regressed by more than
     --tolerance (default 10%) against the committed snapshot, compared on
-    "geomean_overhead_3kernel" - the {mmul, heat, sort} subset older
-    snapshots measured - so the gate compares like with like across the
-    switch to the seven-kernel sweep (falls back to "geomean_overhead"
-    when a snapshot predates the split);
+    the full seven-kernel "geomean_overhead" whenever BOTH snapshots carry
+    it (the enforced key since the hot-path work of DESIGN.md section 13;
+    kernels outside the old {mmul, heat, sort} subset regressing now trips
+    the gate).  Falls back to "geomean_overhead_3kernel" only when one
+    side predates the seven-kernel sweep;
+  * any single kernel's overhead regressed by more than --kernel-tolerance
+    (default 10%; looser than the geomean bar because a single kernel's
+    ratio is noisier than the geomean on a shared host) against its
+    committed row;
   * any treap row marked "enforced" in the committed snapshot has a fresh
     per-record speedup below the committed "speedup_bar".
 
@@ -34,23 +39,43 @@ import tempfile
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
-def geomean_key(snap):
-    """The overhead figure comparable across snapshot generations."""
-    if "geomean_overhead_3kernel" in snap:
-        return snap["geomean_overhead_3kernel"], "geomean_overhead_3kernel"
-    return snap["geomean_overhead"], "geomean_overhead"
+def geomean_key(baseline, fresh):
+    """The widest overhead figure BOTH snapshots carry: the seven-kernel
+    geomean when available on both sides, the 3-kernel subset otherwise."""
+    if "geomean_overhead" in baseline and "geomean_overhead" in fresh:
+        return "geomean_overhead"
+    return "geomean_overhead_3kernel"
 
 
-def gate_access(baseline, fresh, tolerance):
-    base, bkey = geomean_key(baseline)
-    cur, fkey = geomean_key(fresh)
+def gate_access(baseline, fresh, tolerance, kernel_tolerance):
+    key = geomean_key(baseline, fresh)
+    base, cur = baseline[key], fresh[key]
     ratio = cur / base if base > 0 else float("inf")
-    line = (f"access geomean overhead: committed {base:.3f} ({bkey}) vs "
-            f"fresh {cur:.3f} ({fkey}) -> ratio {ratio:.3f}")
+    line = (f"access geomean overhead: committed {base:.3f} vs "
+            f"fresh {cur:.3f} ({key}) -> ratio {ratio:.3f}")
+    failures = []
     if ratio > 1.0 + tolerance:
-        return [f"FAIL {line} exceeds 1 + {tolerance:.2f}"]
-    print(f"ok   {line}")
-    return []
+        failures.append(f"FAIL {line} exceeds 1 + {tolerance:.2f}")
+    else:
+        print(f"ok   {line}")
+    # Per-kernel floor: the geomean can hide one kernel paying for another.
+    fresh_rows = {r["name"]: r for r in fresh.get("kernels", [])}
+    for row in baseline.get("kernels", []):
+        fr = fresh_rows.get(row["name"])
+        if fr is None:
+            failures.append(
+                f"FAIL access kernel '{row['name']}' missing from fresh run")
+            continue
+        kratio = (fr["overhead"] / row["overhead"]
+                  if row["overhead"] > 0 else float("inf"))
+        kline = (f"access {row['name']}: committed {row['overhead']:.2f}x vs "
+                 f"fresh {fr['overhead']:.2f}x -> ratio {kratio:.3f}")
+        if kratio > 1.0 + kernel_tolerance:
+            failures.append(
+                f"FAIL {kline} exceeds 1 + {kernel_tolerance:.2f}")
+        else:
+            print(f"ok   {kline}")
+    return failures
 
 
 def gate_treap(baseline, fresh):
@@ -93,6 +118,9 @@ def main():
                     default=os.path.join(REPO, "BENCH_treap.json"))
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="allowed fractional geomean regression (default .10)")
+    ap.add_argument("--kernel-tolerance", type=float, default=0.10,
+                    help="allowed fractional per-kernel overhead regression "
+                         "(default .10)")
     opts = ap.parse_args()
 
     tmp = None
@@ -116,7 +144,8 @@ def main():
     with open(opts.fresh_treap) as f:
         fresh_treap = json.load(f)
 
-    failures = gate_access(base_access, fresh_access, opts.tolerance)
+    failures = gate_access(base_access, fresh_access, opts.tolerance,
+                           opts.kernel_tolerance)
     failures += gate_treap(base_treap, fresh_treap)
     for line in failures:
         print(line, file=sys.stderr)

@@ -254,17 +254,11 @@ PINT_NOINLINE void cursor_record_miss(AccessCursor& c, detect::addr_t lo,
     ++c.spilled;
     return;
   }
-  // Ring probe BEFORE the policy machinery: a miss absorbed by a pending
-  // stream is the common case for multi-stream kernels and pays nothing for
-  // the predictor.  The site state is consulted only for demote-stage
-  // misses (a genuinely new interval), so `events` counts those.
-  for (unsigned i = 0; i < c.npend[write]; ++i) {
-    detect::Interval& b = c.pend[write][i];
-    if (lo >= b.lo && lo <= b.hi + 1) {
-      if (hi > b.hi) b.hi = hi;
-      return;
-    }
-  }
+  // The pending-ring probe lives inline in record_lane now (two-stream
+  // kernels ping-pong between the open interval and the ring every other
+  // access; paying an out-of-line call for each absorbed bounce dominated
+  // chol/mmul).  Reaching here means a genuinely new interval, so the site
+  // state's `events` counts exactly the demote-stage misses, as before.
   const detect::CursorPolicy forced = g_policy.load(std::memory_order_relaxed);
   SiteState* st = nullptr;
   std::uint8_t mode;
@@ -335,6 +329,18 @@ inline void record_lane(const void* p, std::size_t bytes, const void* site) {
   if (PINT_LIKELY(lo >= c.lo[kLane] && lo <= c.hi[kLane] + 1)) {
     if (hi > c.hi[kLane]) c.hi[kLane] = hi;
     return;
+  }
+  // Pending-ring probe, still inline: a miss absorbed by a pending stream is
+  // the steady state for multi-stream kernels (A[i][k]/A[j][k] ping-pong),
+  // and npend > 0 implies installed && coalesce, so no sentinel state can
+  // reach the extension predicate below.
+  const unsigned np = c.npend[kLane];
+  for (unsigned i = 0; i < np; ++i) {
+    detect::Interval& b = c.pend[kLane][i];
+    if (lo >= b.lo && lo <= b.hi + 1) {
+      if (hi > b.hi) b.hi = hi;
+      return;
+    }
   }
   cursor_record_miss(c, lo, hi, kLane != 0, site);
 }

@@ -37,6 +37,32 @@ struct Stats {
   std::atomic<std::uint64_t> memo_queries{0};
   std::atomic<std::uint64_t> memo_hits{0};
 
+  // AccessBuffer::add tail-probe fast path (DESIGN.md §13).  Every add()
+  // probes the last kTails stored intervals for a stream to extend before
+  // appending: tail_probe_hits counts absorbed adds, tail_probe_misses the
+  // appends.  Only spill/slow-route adds reach add() at all, so these
+  // counters expose exactly the traffic the cursor could not absorb.
+  std::atomic<std::uint64_t> tail_probe_hits{0};
+  std::atomic<std::uint64_t> tail_probe_misses{0};
+
+  // Allocation-free hot path (DESIGN.md §13).  arena_reuses / arena_fresh
+  // are the per-run delta of the process-wide recycler counters (objects +
+  // slabs served from a freelist vs from the system allocator; concurrent
+  // detectors blur the attribution, same caveat as deep_backoffs).
+  // empty_strand_skips counts strands collected with no recorded work that
+  // skipped queue publication entirely.  finalize_sorted_skips counts
+  // AccessBuffer seals whose items were already sorted (no sort at all);
+  // finalize_simd those that took the vectorized merge.  tier_compactions /
+  // tier_cold_hits are the tiered history stores' compaction sweeps and
+  // cold-tier segment emissions.
+  std::atomic<std::uint64_t> arena_reuses{0};
+  std::atomic<std::uint64_t> arena_fresh{0};
+  std::atomic<std::uint64_t> empty_strand_skips{0};
+  std::atomic<std::uint64_t> finalize_sorted_skips{0};
+  std::atomic<std::uint64_t> finalize_simd{0};
+  std::atomic<std::uint64_t> tier_compactions{0};
+  std::atomic<std::uint64_t> tier_cold_hits{0};
+
   // Bulk-run apply + batched lane consumption (DESIGN.md §10).  bulk_runs
   // counts *_run calls issued to a history store, bulk_run_intervals the
   // intervals they carried (ratio = average run length).  batch_drains /
@@ -89,6 +115,10 @@ struct Stats {
     fastpath_accesses = fastpath_hits = slowpath_accesses = 0;
     cursor_spills = policy_switches = policy_bypass = 0;
     memo_queries = memo_hits = 0;
+    tail_probe_hits = tail_probe_misses = 0;
+    arena_reuses = arena_fresh = empty_strand_skips = 0;
+    finalize_sorted_skips = finalize_simd = 0;
+    tier_compactions = tier_cold_hits = 0;
     bulk_runs = bulk_run_intervals = 0;
     batch_drains = batch_strands = prefetch_issues = deep_backoffs = 0;
     strands = traces = steals = reach_queries = 0;
@@ -103,6 +133,10 @@ struct Stats {
     std::uint64_t fastpath_accesses, fastpath_hits, slowpath_accesses;
     std::uint64_t cursor_spills, policy_switches, policy_bypass;
     std::uint64_t memo_queries, memo_hits;
+    std::uint64_t tail_probe_hits, tail_probe_misses;
+    std::uint64_t arena_reuses, arena_fresh, empty_strand_skips;
+    std::uint64_t finalize_sorted_skips, finalize_simd;
+    std::uint64_t tier_compactions, tier_cold_hits;
     std::uint64_t bulk_runs, bulk_run_intervals;
     std::uint64_t batch_drains, batch_strands, prefetch_issues, deep_backoffs;
     std::uint64_t strands, traces, steals, reach_queries;
@@ -138,8 +172,13 @@ struct Stats {
             fastpath_accesses.load(), fastpath_hits.load(),
             slowpath_accesses.load(), cursor_spills.load(),
             policy_switches.load(),   policy_bypass.load(),
-            memo_queries.load(),
-            memo_hits.load(),         bulk_runs.load(),
+            memo_queries.load(),      memo_hits.load(),
+            tail_probe_hits.load(),   tail_probe_misses.load(),
+            arena_reuses.load(),      arena_fresh.load(),
+            empty_strand_skips.load(),
+            finalize_sorted_skips.load(), finalize_simd.load(),
+            tier_compactions.load(),  tier_cold_hits.load(),
+            bulk_runs.load(),
             bulk_run_intervals.load(), batch_drains.load(),
             batch_strands.load(),     prefetch_issues.load(),
             deep_backoffs.load(),     strands.load(),

@@ -1,0 +1,396 @@
+#pragma once
+
+// Tiered access-history store (DESIGN.md §13): a flat sorted-array COLD tier
+// under the treap HOT frontier.
+//
+// The treap's per-interval node churn lives in regions that are written once
+// and then queried or re-carved much later; a flat sorted array serves those
+// with branchless binary search and in-place trims, while the treap keeps
+// absorbing the active frontier.  Compaction periodically merges the hot
+// frontier into a fresh cold array (segment boundaries copied verbatim -
+// never coalesced - so the stored segment structure is EXACTLY the plain
+// treap's at every point).
+//
+// Bit-identity contract: with the tier enabled, every operation produces the
+// same callback/resolver event sequence and the same resulting segment set
+// as the plain IntervalTreap.  The mechanism:
+//
+//  * All event emission is in address order, merged two-ways across tiers
+//    (stored segments are disjoint ACROSS tiers, so the merge is a zipper).
+//  * Mutations vacate [lo, hi] from both tiers first (cold: in-place trims;
+//    a straddling segment's right remainder moves to hot as its own node,
+//    which is tier-invariant), then replay the treap's own piece-building
+//    logic - including push_piece's same-sid adjacency coalescing - into
+//    the hot treap.
+//  * The *_run bulk APIs delegate to the per-interval loop, which is
+//    bit-identical by the §10 equivalence argument.
+//
+// Invariants (check_invariants verifies them):
+//  I1  live cold segments are sorted by lo, non-empty, pairwise disjoint;
+//  I2  no byte is covered by both a live cold segment and the hot treap;
+//  I3  hot ∪ cold equals the segment set (boundaries and owners included)
+//      of the equivalent plain treap.
+//
+// Each instance is single-owner, like the treap it wraps.
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "treap/interval_treap.hpp"
+
+namespace pint::detect {
+
+class TieredHistory {
+ public:
+  using Accessor = treap::Accessor;
+  using taddr_t = treap::addr_t;
+
+  /// `enabled` = false makes every call a straight pass-through to the
+  /// wrapped treap (the ablation / default); `compact_every` bounds how many
+  /// hot inserts accumulate before a compaction sweep (tests shrink it to
+  /// force compactions on small workloads).
+  explicit TieredHistory(std::uint64_t seed, bool enabled = false,
+                         std::size_t compact_every = 1024)
+      : hot_(seed), enabled_(enabled), compact_every_(compact_every) {}
+
+  template <class F>
+  void query(taddr_t lo, taddr_t hi, F&& cb) const {
+    if (!enabled_) {
+      hot_.query(lo, hi, cb);
+      return;
+    }
+    scratch_hot_.clear();
+    hot_.query(lo, hi, [&](taddr_t l, taddr_t h, const Accessor& a) {
+      scratch_hot_.push_back({l, h, a});
+    });
+    // Zipper with the cold walk, in address order.
+    std::size_t hi_idx = 0;
+    cold_walk(lo, hi, [&](taddr_t l, taddr_t h, const Accessor& a) {
+      while (hi_idx < scratch_hot_.size() && scratch_hot_[hi_idx].lo < l) {
+        const Piece& p = scratch_hot_[hi_idx++];
+        cb(p.lo, p.hi, p.who);
+      }
+      ++cold_hits_;
+      cb(l, h, a);
+    });
+    for (; hi_idx < scratch_hot_.size(); ++hi_idx) {
+      const Piece& p = scratch_hot_[hi_idx];
+      cb(p.lo, p.hi, p.who);
+    }
+  }
+
+  template <class F>
+  void insert_writer(taddr_t lo, taddr_t hi, const Accessor& a, F&& cb) {
+    if (!enabled_) {
+      hot_.insert_writer(lo, hi, a, cb);
+      return;
+    }
+    carve_tiered(lo, hi);
+    for (const Piece& p : merged_) cb(p.lo, p.hi, p.who);
+    hot_insert(lo, hi, a);
+    maybe_compact();
+  }
+
+  template <class R>
+  void insert_reader(taddr_t lo, taddr_t hi, const Accessor& a, R&& resolve) {
+    if (!enabled_) {
+      hot_.insert_reader(lo, hi, a, resolve);
+      return;
+    }
+    carve_tiered(lo, hi);
+    // The treap's winner-cover construction, verbatim (interval_treap.hpp
+    // insert_reader), over the merged carve output.
+    pieces_.clear();
+    taddr_t cursor = lo;
+    bool covered_to_hi = false;
+    for (const Piece& p : merged_) {
+      if (p.lo > cursor) push_piece(cursor, p.lo - 1, a);
+      const Accessor& w = resolve(p.who, a) ? a : p.who;
+      push_piece(p.lo, p.hi, w);
+      if (p.hi == hi) {  // avoids the hi+1 wrap when hi == kMaxAddr
+        covered_to_hi = true;
+        break;
+      }
+      cursor = p.hi + 1;
+    }
+    if (!covered_to_hi && cursor <= hi) push_piece(cursor, hi, a);
+    for (const Piece& p : pieces_) hot_insert(p.lo, p.hi, p.who);
+    maybe_compact();
+  }
+
+  void erase_range(taddr_t lo, taddr_t hi) {
+    if (!enabled_) {
+      hot_.erase_range(lo, hi);
+      return;
+    }
+    cold_vacate(lo, hi, nullptr);
+    hot_.erase_range(lo, hi);
+  }
+
+  // --- bulk sorted-run API (DESIGN.md §10) -------------------------------
+  // With the tier enabled these delegate to the per-interval loop, which is
+  // bit-identical to the treap's sweep by the §10 equivalence; disabled they
+  // pass through to the treap's real bulk paths.
+
+  template <class Iv, class F>
+  void query_run(const Iv* iv, std::size_t k, F&& cb) const {
+    if (!enabled_) {
+      hot_.query_run(iv, k, cb);
+      return;
+    }
+    for (std::size_t j = 0; j < k; ++j) query(iv[j].lo, iv[j].hi, cb);
+  }
+
+  template <class Iv, class F>
+  void insert_writer_run(const Iv* iv, std::size_t k, const Accessor& a,
+                         F&& cb) {
+    if (!enabled_) {
+      hot_.insert_writer_run(iv, k, a, cb);
+      return;
+    }
+    for (std::size_t j = 0; j < k; ++j) insert_writer(iv[j].lo, iv[j].hi, a, cb);
+  }
+
+  template <class Iv, class R>
+  void insert_reader_run(const Iv* iv, std::size_t k, const Accessor& a,
+                         R&& resolve) {
+    if (!enabled_) {
+      hot_.insert_reader_run(iv, k, a, resolve);
+      return;
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      insert_reader(iv[j].lo, iv[j].hi, a, resolve);
+    }
+  }
+
+  template <class Iv>
+  void erase_run(const Iv* iv, std::size_t k) {
+    if (!enabled_) {
+      hot_.erase_run(iv, k);
+      return;
+    }
+    for (std::size_t j = 0; j < k; ++j) erase_range(iv[j].lo, iv[j].hi);
+  }
+
+  // --- introspection -----------------------------------------------------
+
+  bool empty() const { return hot_.empty() && live_cold_ == 0; }
+  std::size_t size() const { return hot_.size() + live_cold_; }
+
+  template <class F>
+  void for_each(F&& cb) const {
+    if (!enabled_) {
+      hot_.for_each(cb);
+      return;
+    }
+    query(0, ~taddr_t(0), cb);
+  }
+
+  bool check_invariants() const {
+    if (!enabled_) return hot_.check_invariants();
+    if (!hot_.check_invariants()) return false;
+    taddr_t prev_hi = 0;
+    bool first = true;
+    std::size_t live = 0;
+    for (const ColdSeg& s : cold_) {
+      if (s.dead) continue;
+      ++live;
+      if (s.lo > s.hi) return false;                    // non-empty (I1)
+      if (!first && s.lo <= prev_hi) return false;      // sorted+disjoint (I1)
+      first = false;
+      prev_hi = s.hi;
+      bool overlap = false;                             // tier-disjoint (I2)
+      hot_.query(s.lo, s.hi,
+                 [&](taddr_t, taddr_t, const Accessor&) { overlap = true; });
+      if (overlap) return false;
+    }
+    return live == live_cold_;
+  }
+
+  /// Compaction sweeps run so far / segments served from the cold tier.
+  std::uint64_t compactions() const { return compactions_; }
+  std::uint64_t cold_hits() const { return cold_hits_; }
+  bool enabled() const { return enabled_; }
+
+ private:
+  struct Piece {
+    taddr_t lo, hi;
+    Accessor who;
+  };
+  struct ColdSeg {
+    taddr_t lo, hi;
+    Accessor who;
+    bool dead = false;
+  };
+
+  static void hot_noop(taddr_t, taddr_t, const Accessor&) {
+    PINT_ASSERT(!"tiered history: hot insert must target a vacated range");
+  }
+
+  /// Insert one segment as its own hot node.  [lo, hi] was vacated from both
+  /// tiers, so the treap carve finds nothing (the callback asserts that).
+  void hot_insert(taddr_t lo, taddr_t hi, const Accessor& a) {
+    hot_.insert_writer(lo, hi, a, hot_noop);
+    ++hot_inserts_;
+  }
+
+  /// Index of the first cold segment (live or dead) whose live predecessor
+  /// cannot overlap [lo, ...): standard lower_bound by lo, then walk back to
+  /// the nearest live predecessor (only it can straddle lo, by I1).
+  std::size_t cold_first(taddr_t lo) const {
+    std::size_t b = 0, e = cold_.size();
+    while (b < e) {
+      const std::size_t m = b + (e - b) / 2;
+      if (cold_[m].lo < lo) {
+        b = m + 1;
+      } else {
+        e = m;
+      }
+    }
+    std::size_t i = b;
+    while (i > 0) {
+      const ColdSeg& p = cold_[i - 1];
+      if (!p.dead) {
+        if (p.hi >= lo) --i;  // predecessor straddles lo: include it
+        break;
+      }
+      --i;  // dead entry: keep walking back to the live predecessor
+    }
+    // Skip leading dead entries so the caller starts on a candidate.
+    while (i < cold_.size() && cold_[i].dead) ++i;
+    return i;
+  }
+
+  /// cb(lo, hi, who) for every live cold segment part overlapping [lo, hi],
+  /// trimmed, in address order.  Non-mutating.
+  template <class F>
+  void cold_walk(taddr_t lo, taddr_t hi, F&& cb) const {
+    for (std::size_t i = cold_first(lo); i < cold_.size(); ++i) {
+      const ColdSeg& s = cold_[i];
+      if (s.dead) continue;
+      if (s.lo > hi) break;
+      if (s.hi < lo) continue;  // the straddle candidate missed
+      cb(s.lo > lo ? s.lo : lo, s.hi < hi ? s.hi : hi, s.who);
+    }
+  }
+
+  /// Removes all cold coverage of [lo, hi].  Trimmed-out parts are appended
+  /// to *out (in address order) when non-null; a straddling segment's right
+  /// remainder past hi stays cold (in-place lo trim keeps I1); a segment
+  /// straddling BOTH ends keeps its left part cold and moves its right
+  /// remainder to the hot treap as its own node (same two-segment structure
+  /// the treap's carve leaves behind).
+  void cold_vacate(taddr_t lo, taddr_t hi, std::vector<Piece>* out) {
+    for (std::size_t i = cold_first(lo); i < cold_.size(); ++i) {
+      ColdSeg& s = cold_[i];
+      if (s.dead) continue;
+      if (s.lo > hi) break;
+      if (s.hi < lo) continue;
+      const taddr_t cut_lo = s.lo > lo ? s.lo : lo;
+      const taddr_t cut_hi = s.hi < hi ? s.hi : hi;
+      if (out != nullptr) out->push_back({cut_lo, cut_hi, s.who});
+      const bool left_rem = s.lo < lo;
+      const bool right_rem = s.hi > hi;
+      if (left_rem && right_rem) {
+        hot_insert(hi + 1, s.hi, s.who);  // right half becomes a hot node
+        --hot_inserts_;  // structural move, not frontier growth
+        s.hi = lo - 1;
+      } else if (left_rem) {
+        s.hi = lo - 1;
+      } else if (right_rem) {
+        s.lo = hi + 1;
+      } else {
+        s.dead = true;
+        --live_cold_;
+        ++dead_cold_;
+      }
+    }
+  }
+
+  /// Vacates [lo, hi] from both tiers and leaves the removed coverage -
+  /// trimmed, address-ordered, tier-merged - in merged_.
+  void carve_tiered(taddr_t lo, taddr_t hi) {
+    scratch_cold_.clear();
+    cold_vacate(lo, hi, &scratch_cold_);
+    scratch_hot_.clear();
+    hot_.query(lo, hi, [&](taddr_t l, taddr_t h, const Accessor& a) {
+      scratch_hot_.push_back({l, h, a});
+    });
+    if (!scratch_hot_.empty()) hot_.erase_range(lo, hi);
+    cold_hits_ += scratch_cold_.size();
+    merged_.clear();
+    std::size_t c = 0, t = 0;
+    while (c < scratch_cold_.size() && t < scratch_hot_.size()) {
+      if (scratch_cold_[c].lo < scratch_hot_[t].lo) {
+        merged_.push_back(scratch_cold_[c++]);
+      } else {
+        merged_.push_back(scratch_hot_[t++]);
+      }
+    }
+    for (; c < scratch_cold_.size(); ++c) merged_.push_back(scratch_cold_[c]);
+    for (; t < scratch_hot_.size(); ++t) merged_.push_back(scratch_hot_[t]);
+  }
+
+  /// interval_treap.hpp push_piece, verbatim coalescing rule.
+  void push_piece(taddr_t lo, taddr_t hi, const Accessor& w) {
+    if (!pieces_.empty() && pieces_.back().who.sid == w.sid &&
+        pieces_.back().hi + 1 == lo) {
+      pieces_.back().hi = hi;
+    } else {
+      pieces_.push_back({lo, hi, w});
+    }
+  }
+
+  /// Merge the hot frontier into a fresh cold array once enough inserts
+  /// accumulated (or the dead fraction grew past half).  Segment boundaries
+  /// and owners are copied verbatim: the stored structure is unchanged.
+  void maybe_compact() {
+    if (hot_inserts_ < compact_every_ &&
+        !(cold_.size() >= 64 && dead_cold_ * 2 > cold_.size())) {
+      return;
+    }
+    scratch_hot_.clear();
+    hot_.for_each([&](taddr_t l, taddr_t h, const Accessor& a) {
+      scratch_hot_.push_back({l, h, a});
+    });
+    std::vector<ColdSeg> fresh;
+    fresh.reserve(live_cold_ + scratch_hot_.size());
+    std::size_t t = 0;
+    for (const ColdSeg& s : cold_) {
+      if (s.dead) continue;
+      while (t < scratch_hot_.size() && scratch_hot_[t].lo < s.lo) {
+        fresh.push_back({scratch_hot_[t].lo, scratch_hot_[t].hi,
+                         scratch_hot_[t].who, false});
+        ++t;
+      }
+      fresh.push_back(s);
+    }
+    for (; t < scratch_hot_.size(); ++t) {
+      fresh.push_back(
+          {scratch_hot_[t].lo, scratch_hot_[t].hi, scratch_hot_[t].who, false});
+    }
+    cold_.swap(fresh);
+    live_cold_ = cold_.size();
+    dead_cold_ = 0;
+    hot_.clear();
+    hot_inserts_ = 0;
+    ++compactions_;
+  }
+
+  treap::IntervalTreap hot_;
+  bool enabled_;
+  std::size_t compact_every_;
+  std::vector<ColdSeg> cold_;
+  std::size_t live_cold_ = 0;
+  std::size_t dead_cold_ = 0;
+  std::size_t hot_inserts_ = 0;
+  std::uint64_t compactions_ = 0;
+  mutable std::uint64_t cold_hits_ = 0;
+  mutable std::vector<Piece> scratch_hot_;
+  std::vector<Piece> scratch_cold_;
+  std::vector<Piece> merged_;
+  std::vector<Piece> pieces_;
+};
+
+}  // namespace pint::detect

@@ -6,6 +6,8 @@
 #include <string>
 
 #include "detect/history.hpp"
+#include "detect/types.hpp"
+#include "support/arena.hpp"
 
 namespace pint::detect {
 
@@ -47,6 +49,8 @@ Tuning Tuning::current() {
   t.bulk_apply = detect::bulk_apply();
   t.access_fast_path = detect::access_fast_path();
   t.cursor_policy = detect::cursor_policy();
+  t.arena = support::arena_recycle();
+  t.simd = detect::simd_merge();
   return t;
 }
 
@@ -70,6 +74,9 @@ Tuning Tuning::parse(const char* spec, Tuning base) {
     else if (key == "cursor") ok = parse_policy(val, &base.cursor_policy);
     else if (key == "memo") ok = parse_bool(val, &base.memo);
     else if (key == "locks") ok = parse_bool(val, &base.lock_edges);
+    else if (key == "arena") ok = parse_bool(val, &base.arena);
+    else if (key == "tier") ok = parse_bool(val, &base.tier);
+    else if (key == "simd") ok = parse_bool(val, &base.simd);
     if (!ok) warn_once(item);
   }
   return base;
@@ -86,6 +93,8 @@ void Tuning::apply_globals() const {
   set_bulk_apply(bulk_apply);
   set_access_fast_path(access_fast_path);
   set_cursor_policy(cursor_policy);
+  support::set_arena_recycle(arena);
+  set_simd_merge(simd);
 }
 
 }  // namespace pint::detect

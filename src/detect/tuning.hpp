@@ -34,20 +34,35 @@ struct Tuning {
   /// conflicts whose segments share a mutex.  Per-detector: off ignores
   /// lock events entirely (records keep lsid 0, the pre-lock behavior).
   bool lock_edges = true;
+  /// Arena-batched allocation (DESIGN.md §13): strand/trace/chunk pools and
+  /// treap node chunks draw from process-wide recyclers and retire
+  /// wholesale.  Global knob; changes allocation provenance only, never
+  /// stored bytes - results are bit-identical either way.
+  bool arena = true;
+  /// Tiered history (DESIGN.md §13): each history lane keeps a flat sorted
+  /// cold tier under the treap hot frontier.  Per-detector: read at
+  /// construction (the stores are built in the constructor).  Off by
+  /// default: the tier wins on query-dominated stores and is measured by
+  /// micro_treap; the kernel suite is rewrite-heavy.
+  bool tier = false;
+  /// SIMD/branchless AccessBuffer::finalize (DESIGN.md §13): sortedness
+  /// detector + radix bucketing + AVX2 merge mask, runtime-dispatched with
+  /// a bit-identical scalar fallback.  Global knob.
+  bool simd = true;
 
   /// Snapshot of the live global knobs + per-detector defaults.
   static Tuning current();
 
   /// current() overlaid with the PINT_TUNING environment variable, e.g.
-  ///   PINT_TUNING=bulk=off,fastpath=on,cursor=wide,memo=on,locks=off
+  ///   PINT_TUNING=bulk=off,cursor=wide,memo=on,locks=off,arena=off,simd=off
   /// Unknown keys/values warn once on stderr and are ignored.
   static Tuning from_env();
 
   /// Overlay a spec string ("bulk=off,cursor=adaptive,...") onto `base`.
   static Tuning parse(const char* spec, Tuning base);
 
-  /// Push the global knobs (bulk_apply / access_fast_path / cursor_policy)
-  /// into their process globals.  Call only at quiescence.
+  /// Push the global knobs (bulk_apply / access_fast_path / cursor_policy /
+  /// arena / simd) into their process globals.  Call only at quiescence.
   void apply_globals() const;
 
   bool operator==(const Tuning&) const = default;

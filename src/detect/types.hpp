@@ -4,6 +4,7 @@
 // access coalescer, and deferred-free records.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -36,6 +37,34 @@ struct HeapFree {
   addr_t hi = 0;
 };
 
+/// Global knob for the vectorized finalize path (DESIGN.md §13; pushed by
+/// Tuning::apply_globals, same pattern as the bulk-apply knob).  Off routes
+/// every finalize through std::sort + the scalar merge loop; results are
+/// bit-identical either way because the canonical minimal disjoint set is
+/// unique.
+inline std::atomic<bool>& simd_merge_knob() {
+  static std::atomic<bool> on{true};
+  return on;
+}
+inline void set_simd_merge(bool on) {
+  simd_merge_knob().store(on, std::memory_order_relaxed);
+}
+inline bool simd_merge() {
+  return simd_merge_knob().load(std::memory_order_relaxed);
+}
+
+/// Which code path finalize() took for a buffer (seal-time accounting).
+enum class FinalizePath : std::uint8_t {
+  kNone,    ///< nothing to do (<=1 interval or coalesce off)
+  kSorted,  ///< already-sorted input: merge scan only, no sort
+  kScalar,  ///< std::sort + scalar merge (knob off / tiny / fallback)
+  kSimd,    ///< radix bucketing + vectorized merge mask
+};
+
+/// Sort-merge `items` into the canonical minimal sorted disjoint set.
+/// Implemented in detect/merge.cpp (runtime-dispatched SIMD + scalar).
+FinalizePath finalize_intervals(std::vector<Interval>& items);
+
 /// Runtime access coalescer (the STINT mechanism PINT reuses): an access
 /// that extends or overlaps one of the most recent intervals is merged on
 /// the fly - checking the last few entries (not just one) handles the
@@ -46,6 +75,10 @@ struct HeapFree {
 class AccessBuffer {
  public:
   static constexpr std::size_t kTails = 4;
+  /// Shrink-to-slab bound: clear() releases backing store grown past this
+  /// many intervals, so one outlier strand does not pin a huge buffer across
+  /// every recycle of its Strand record (arena lifecycle, DESIGN.md §13).
+  static constexpr std::size_t kSlabIntervals = 4096;
 
   /// Records without any merging - the "no runtime coalescing" ablation.
   void add_raw(addr_t lo, addr_t hi) {
@@ -61,9 +94,11 @@ class AccessBuffer {
       Interval& b = items_[n - 1 - t];
       if (lo >= b.lo && lo <= b.hi + 1) {  // extends / overlaps this stream
         if (hi > b.hi) b.hi = hi;
+        ++tail_hits_;
         return;
       }
     }
+    ++tail_misses_;
     items_.push_back({lo, hi});
   }
 
@@ -71,20 +106,14 @@ class AccessBuffer {
   /// minimal sorted set of disjoint intervals. When `coalesce` is false the
   /// buffer is left exactly as recorded (ablation mode: every access becomes
   /// its own access-history operation, modulo the tail fast path).
+  /// Dispatches to detect/merge.cpp: already-sorted scan, radix + SIMD
+  /// merge, or the scalar sort-merge - all producing the identical unique
+  /// canonical set (fin_path() says which ran).
   void finalize(bool coalesce = true) {
     canonical_ = coalesce || items_.size() <= 1;
+    fin_path_ = FinalizePath::kNone;
     if (!coalesce || items_.size() <= 1) return;
-    std::sort(items_.begin(), items_.end(),
-              [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
-    std::size_t out = 0;
-    for (std::size_t i = 1; i < items_.size(); ++i) {
-      if (items_[i].lo <= items_[out].hi + 1) {
-        items_[out].hi = std::max(items_[out].hi, items_[i].hi);
-      } else {
-        items_[++out] = items_[i];
-      }
-    }
-    items_.resize(out + 1);
+    fin_path_ = finalize_intervals(items_);
   }
 
   const std::vector<Interval>& items() const { return items_; }
@@ -92,7 +121,14 @@ class AccessBuffer {
   std::size_t raw_count() const { return items_.size(); }
   void clear() {
     items_.clear();
+    if (items_.capacity() > kSlabIntervals) {
+      std::vector<Interval> slab;
+      slab.reserve(kSlabIntervals);
+      items_.swap(slab);
+    }
     canonical_ = false;
+    fin_path_ = FinalizePath::kNone;
+    tail_hits_ = tail_misses_ = 0;
   }
 
   /// True after finalize() left items() sorted and pairwise disjoint - the
@@ -101,9 +137,18 @@ class AccessBuffer {
   /// more than one interval.
   bool canonical() const { return canonical_; }
 
+  /// Seal-time accounting, folded into Stats by the detectors and reset by
+  /// clear() when the strand is recycled.
+  FinalizePath fin_path() const { return fin_path_; }
+  std::uint64_t tail_hits() const { return tail_hits_; }
+  std::uint64_t tail_misses() const { return tail_misses_; }
+
  private:
   std::vector<Interval> items_;
+  std::uint64_t tail_hits_ = 0;
+  std::uint64_t tail_misses_ = 0;
   bool canonical_ = false;
+  FinalizePath fin_path_ = FinalizePath::kNone;
 };
 
 inline addr_t addr_of(const void* p) {

@@ -8,6 +8,7 @@
 
 #include "detect/history.hpp"
 #include "detect/instrument.hpp"
+#include "support/arena.hpp"
 #include "support/error_sink.hpp"
 #include "support/failpoint.hpp"
 #include "support/rng.hpp"
@@ -64,9 +65,13 @@ constexpr std::size_t kReserveTraces = 4;
 // Shared pool-take: reuse from `pool`, or allocate fresh into `owned`.  One
 // lock acquisition either way (the old per-pool copies dropped and re-took
 // the lock on the miss path).  `on_reuse` reinitialises a recycled object
-// and runs under the lock, before the object escapes the pool.  Returns
-// nullptr when the fresh allocation fails - really (bad_alloc) or by
-// injection ("pool.alloc" fires only on the miss path, so `once` mode
+// and runs under the lock, before the object escapes the pool.  A same-run
+// pool miss first tries the process-wide arena recycler (DESIGN.md §13) -
+// objects retired by a previous detector instance, reused here with their
+// grown container capacities intact; the recycler sits AFTER the failpoint
+// so injected allocation failures behave identically with the arena on.
+// Returns nullptr when the fresh allocation fails - really (bad_alloc) or
+// by injection ("pool.alloc" fires only on the miss path, so `once` mode
 // deterministically fails one true allocation).
 template <class T, class Reuse>
 T* pool_take(Spinlock& mu, std::vector<T*>& pool,
@@ -79,7 +84,14 @@ T* pool_take(Spinlock& mu, std::vector<T*>& pool,
     return t;
   }
   if (PINT_UNLIKELY(PINT_FAILPOINT("pool.alloc"))) return nullptr;
+  if (auto rec = support::Recycler<T>::instance().take()) {
+    T* t = rec.get();
+    owned.push_back(std::move(rec));
+    on_reuse(t);
+    return t;
+  }
   try {
+    support::note_arena_fresh();
     auto fresh = std::make_unique<T>();
     T* p = fresh.get();
     owned.push_back(std::move(fresh));
@@ -93,9 +105,9 @@ T* pool_take(Spinlock& mu, std::vector<T*>& pool,
 PintDetector::PintDetector(const Options& opt)
     : opt_(opt),
       queue_(opt.queue_capacity),
-      writer_treap_(subseed(opt.seed, 1)),
-      lreader_treap_(subseed(opt.seed, 2)),
-      rreader_treap_(subseed(opt.seed, 3)) {
+      writer_treap_(subseed(opt.seed, 1), opt.tuning.tier),
+      lreader_treap_(subseed(opt.seed, 2), opt.tuning.tier),
+      rreader_treap_(subseed(opt.seed, 3), opt.tuning.tier) {
   rep_.set_verbose(opt_.verbose_races);
   PINT_CHECK_MSG(
       opt_.history_shards == 0 || opt_.history == detect::HistoryKind::kTreap,
@@ -104,7 +116,7 @@ PintDetector::PintDetector(const Options& opt)
     shards_.push_back(std::make_unique<HistoryShard>(
         subseed(opt_.seed, 10 + std::uint64_t(k) * 3),
         subseed(opt_.seed, 11 + std::uint64_t(k) * 3),
-        subseed(opt_.seed, 12 + std::uint64_t(k) * 3)));
+        subseed(opt_.seed, 12 + std::uint64_t(k) * 3), opt_.tuning.tier));
   }
   for (int i = 0; i < opt_.core_workers; ++i) {
     auto ws = std::make_unique<CoreWS>();
@@ -150,7 +162,20 @@ PintDetector::PintDetector(const Options& opt)
   }
 }
 
-PintDetector::~PintDetector() = default;
+PintDetector::~PintDetector() {
+  // Arena retirement (DESIGN.md §13): hand every owned pool object to the
+  // process-wide recyclers wholesale so the next detector instance starts
+  // warm.  Recycler::give_all checks the live knob itself (off -> plain
+  // destruction); objects are retired as-is - takers reinitialize.
+  for (auto& ws : ws_) {
+    support::Recycler<Strand>::instance().give_all(&ws->owned);
+  }
+  support::Recycler<Strand>::instance().give_all(&reserve_strands_owned_);
+  support::Recycler<Trace>::instance().give_all(&all_traces_);
+  support::Recycler<Trace>::instance().give_all(&reserve_traces_owned_);
+  support::Recycler<TraceChunk>::instance().give_all(&all_chunks_);
+  support::Recycler<TraceChunk>::instance().give_all(&reserve_chunks_owned_);
+}
 
 // ---------------------------------------------------------------------------
 // Pools
@@ -355,6 +380,12 @@ void PintDetector::seal_strand(CoreWS& ws, Strand* s) {
   s->writes.finalize(opt_.coalesce);
   ws.read_intervals += s->reads.items().size();
   ws.write_intervals += s->writes.items().size();
+  ws.tail_hits += s->reads.tail_hits() + s->writes.tail_hits();
+  ws.tail_misses += s->reads.tail_misses() + s->writes.tail_misses();
+  ws.fin_sorted += (s->reads.fin_path() == detect::FinalizePath::kSorted) +
+                   (s->writes.fin_path() == detect::FinalizePath::kSorted);
+  ws.fin_simd += (s->reads.fin_path() == detect::FinalizePath::kSimd) +
+                 (s->writes.fin_path() == detect::FinalizePath::kSimd);
 }
 
 void PintDetector::cursor_flush(CoreWS& ws) {
@@ -604,6 +635,27 @@ bool PintDetector::on_task_retire(rt::Worker& w, rt::TaskFrame& f) {
 // ---------------------------------------------------------------------------
 
 void PintDetector::collect(Strand* s) {
+  // Empty-strand skip (DESIGN.md §13): a strand with no accesses, clears or
+  // frees contributes nothing to any history store, so publishing it only to
+  // have every consumer step over it costs a ring slot, an acq_rel fence
+  // pair and two stopwatch reads per lane.  The collection bookkeeping that
+  // DOES matter still runs - the order log (the strand IS collected, in
+  // order), the successor's pred decrement, and the retired-fiber release
+  // (the writer released it at this same point in the collection order
+  // before; an empty strand carries no clears whose ordering could matter).
+  if (!s->has_work()) {
+    if (opt_.record_collection_order) collection_log_.push_back(s->label);
+    if (s->collect_child != nullptr) {
+      s->collect_child->pred.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    if (s->retired_frame != nullptr) {
+      sched_->release_frame(s->retired_frame);
+      s->retired_frame = nullptr;
+    }
+    stats_.empty_strand_skips.fetch_add(1, std::memory_order_relaxed);
+    recycle_strand(s);
+    return;
+  }
   // Covers the queue push (including any backoff on a full ring) plus the
   // nested writer.strand span, so queue pressure is visible as the gap
   // between the two on the writer track.
@@ -672,7 +724,7 @@ void PintDetector::collect(Strand* s) {
 }
 
 void PintDetector::process_writer(Strand* s) {
-  writer_watch_.start();
+  if (!phase_watch_) writer_watch_.start();
   {
     // Span nested just inside the watch so the watch's CLOCK_THREAD_CPUTIME
     // reads (hundreds of ns each) stay out of the span; the exported
@@ -701,7 +753,7 @@ void PintDetector::process_writer(Strand* s) {
       s->retired_frame = nullptr;
     }
   }
-  writer_watch_.stop();
+  if (!phase_watch_) writer_watch_.stop();
 }
 
 bool PintDetector::collect_from(CoreWS& ws, bool* drained) {
@@ -841,7 +893,7 @@ void PintDetector::reader_loop(ReaderSide side) {
   const bool left = side == ReaderSide::kLeftMost;
   telem::set_thread_role(left ? "lreader" : "rreader");
   const char* span_name = left ? "lreader.strand" : "rreader.strand";
-  treap::IntervalTreap& t = left ? lreader_treap_ : rreader_treap_;
+  detect::TieredHistory& t = left ? lreader_treap_ : rreader_treap_;
   detect::GranuleMap& m = left ? lreader_map_ : rreader_map_;
   const bool use_treap = opt_.history == detect::HistoryKind::kTreap;
   StopwatchAccum& watch = left ? lreader_watch_ : rreader_watch_;
@@ -856,8 +908,9 @@ void PintDetector::reader_loop(ReaderSide side) {
           ? nullptr
           : (seq_history_ ? &memo_writer_
                           : (left ? &memo_lreader_ : &memo_rreader_));
+  const bool pw = phase_watch_;
   consume_loop(lane, [&](Strand* s) {
-    watch.start();
+    if (!pw) watch.start();
     {
       // Nested inside the watch (see process_writer): span sum ~= *_ns.
       telem::ScopedSpan span(span_name);
@@ -867,7 +920,7 @@ void PintDetector::reader_loop(ReaderSide side) {
         detect::process_reader_treap(m, *s, reach_, rep_, stats_, side, memo);
       }
     }
-    watch.stop();
+    if (!pw) watch.stop();
   });
 }
 
@@ -880,26 +933,48 @@ void PintDetector::shard_loop(int shard) {
   HistoryShard& hs = *shards_[std::size_t(shard)];
   const int n = int(shards_.size());
   ConsumerLane& lane = *lanes_[std::size_t(shard)];
+  const bool pw = phase_watch_;
   consume_loop(lane, [&](Strand* s) {
-    hs.watch.start();
+    if (!pw) hs.watch.start();
     {
       PINT_TSPAN("shard.strand");
       hs.process(*s, shard, n, reach_, rep_, stats_, opt_.tuning.memo);
     }
-    hs.watch.stop();
+    if (!pw) hs.watch.stop();
   });
 }
 
 void PintDetector::finish_history_sequential() {
+  // Each lane is one uninterrupted phase on this thread, so the stopwatches
+  // wrap the phases instead of every strand (see phase_watch_).  The writer
+  // phase's watch covers collection too - which is the writer worker's job
+  // in the paper's breakdown anyway.  Traced runs keep the per-strand
+  // watches: the exported *.strand span sums are documented to agree with
+  // the *_ns stats, which requires both to bracket the same code (the phase
+  // watch also counts loop bookkeeping between strands), and a traced run
+  // is diagnostic anyway - it already pays per-strand span records.
+  phase_watch_ = !telem::enabled();
+  const bool pw = phase_watch_;
   // Phase 1: collection (+ writer treap in the classic configuration).
+  if (pw) writer_watch_.start();
   writer_loop();
+  if (pw) writer_watch_.stop();
   if (!shards_.empty()) {
-    for (int k = 0; k < int(shards_.size()); ++k) shard_loop(k);
+    for (int k = 0; k < int(shards_.size()); ++k) {
+      HistoryShard& hs = *shards_[std::size_t(k)];
+      if (pw) hs.watch.start();
+      shard_loop(k);
+      if (pw) hs.watch.stop();
+    }
     return;
   }
   // Phase 2 & 3: the two reader treaps over the same global order.
+  if (pw) lreader_watch_.start();
   reader_loop(ReaderSide::kLeftMost);
+  if (pw) lreader_watch_.stop();
+  if (pw) rreader_watch_.start();
   reader_loop(ReaderSide::kRightMost);
+  if (pw) rreader_watch_.stop();
 }
 
 // ---------------------------------------------------------------------------
@@ -1048,7 +1123,7 @@ RunResult PintDetector::run(std::function<void()> fn) {
   // run's share as a delta (concurrent detector runs would blur it - fine
   // for a monitoring counter).
   const std::uint64_t deep_backoffs_at_start = Backoff::deep_entries();
-  Timer total;
+  const support::ArenaCounters arena_at_start = support::arena_counters();
 
   std::thread writer;
   std::vector<std::thread> history;
@@ -1110,6 +1185,11 @@ RunResult PintDetector::run(std::function<void()> fn) {
     wd.arm();
   }
 
+  // The measured window covers exactly the detection pipeline: thread spawn,
+  // sampler and watchdog setup happen above, their teardown below the
+  // elapsed read - so total_ns (the overhead-figure numerator) is not
+  // padded with monitoring scaffolding.
+  Timer total;
   if (!seq_history_) {
     Timer core;
     sched.run([&] { fn(); });
@@ -1127,11 +1207,10 @@ RunResult PintDetector::run(std::function<void()> fn) {
     core_done_.store(true, std::memory_order_release);
     finish_history_sequential();
   }
+  stats_.total_ns.store(total.elapsed_ns());
 
   wd.disarm();
   sampler.stop();
-
-  stats_.total_ns.store(total.elapsed_ns());
   stats_.writer_ns.store(writer_watch_.total_ns());
   if (shards_.empty()) {
     stats_.lreader_ns.store(lreader_watch_.total_ns());
@@ -1160,7 +1239,31 @@ RunResult PintDetector::run(std::function<void()> fn) {
     stats_.policy_switches.fetch_add(ws->policy_switches);
     stats_.policy_bypass.fetch_add(ws->policy_bypass);
     stats_.slowpath_accesses.fetch_add(ws->slow_accesses);
+    stats_.tail_probe_hits.fetch_add(ws->tail_hits);
+    stats_.tail_probe_misses.fetch_add(ws->tail_misses);
+    stats_.finalize_sorted_skips.fetch_add(ws->fin_sorted);
+    stats_.finalize_simd.fetch_add(ws->fin_simd);
   }
+  // Arena counters are process-wide monotonic; attribute this run's delta
+  // (same pattern as deep_backoffs below).
+  const support::ArenaCounters arena_now = support::arena_counters();
+  stats_.arena_reuses.fetch_add(arena_now.reuses - arena_at_start.reuses);
+  stats_.arena_fresh.fetch_add(arena_now.fresh - arena_at_start.fresh);
+  // Tiered-history tallies: all history threads joined (quiescence).
+  std::uint64_t tier_comp = writer_treap_.compactions() +
+                            lreader_treap_.compactions() +
+                            rreader_treap_.compactions();
+  std::uint64_t tier_cold = writer_treap_.cold_hits() +
+                            lreader_treap_.cold_hits() +
+                            rreader_treap_.cold_hits();
+  for (const auto& sh : shards_) {
+    tier_comp += sh->writer.compactions() + sh->lreader.compactions() +
+                 sh->rreader.compactions();
+    tier_cold += sh->writer.cold_hits() + sh->lreader.cold_hits() +
+                 sh->rreader.cold_hits();
+  }
+  stats_.tier_compactions.fetch_add(tier_comp);
+  stats_.tier_cold_hits.fetch_add(tier_cold);
   // Memo-cache totals: all history threads are joined (quiescence), so the
   // plain per-cache counters are safe to sum here.
   std::uint64_t mq = memo_writer_.queries + memo_lreader_.queries +
@@ -1201,6 +1304,20 @@ RunResult PintDetector::run(std::function<void()> fn) {
                stats_.slowpath_accesses.load(std::memory_order_relaxed));
   telem::count("reach.memo.queries", mq);
   telem::count("reach.memo.hits", mh);
+  telem::count("access.tail.hits",
+               stats_.tail_probe_hits.load(std::memory_order_relaxed));
+  telem::count("access.tail.misses",
+               stats_.tail_probe_misses.load(std::memory_order_relaxed));
+  telem::count("access.finalize.sorted",
+               stats_.finalize_sorted_skips.load(std::memory_order_relaxed));
+  telem::count("access.finalize.simd",
+               stats_.finalize_simd.load(std::memory_order_relaxed));
+  telem::count("collect.empty.skips",
+               stats_.empty_strand_skips.load(std::memory_order_relaxed));
+  telem::count("arena.reuses",
+               stats_.arena_reuses.load(std::memory_order_relaxed));
+  telem::count("arena.fresh",
+               stats_.arena_fresh.load(std::memory_order_relaxed));
 
   detect::set_active_detector(nullptr);
   sched_ = nullptr;

@@ -33,6 +33,7 @@
 #include "detect/run_result.hpp"
 #include "detect/stats.hpp"
 #include "detect/strand.hpp"
+#include "detect/tiered_history.hpp"
 #include "pint/ah_queue.hpp"
 #include "pint/sharded_history.hpp"
 #include "pint/trace.hpp"
@@ -139,6 +140,10 @@ class PintDetector final : public detect::Detector,
     // accesses that took the classic virtual-dispatch route.
     std::uint64_t fast_accesses = 0, fast_hits = 0, slow_accesses = 0;
     std::uint64_t cursor_spills = 0, policy_switches = 0, policy_bypass = 0;
+    // AccessBuffer::add tail-probe outcomes and finalize route tallies
+    // (DESIGN.md §13), folded from each strand's buffers at seal time.
+    std::uint64_t tail_hits = 0, tail_misses = 0;
+    std::uint64_t fin_sorted = 0, fin_simd = 0;
     // consumer side (owned by the writer treap worker)
     Trace* ccur = nullptr;
     // Strand pool: owner pops, writer treap worker returns.  Same
@@ -208,9 +213,9 @@ class PintDetector final : public detect::Detector,
   detect::RaceReporter rep_;
   detect::Stats stats_;
   AhQueue queue_;
-  treap::IntervalTreap writer_treap_;
-  treap::IntervalTreap lreader_treap_;
-  treap::IntervalTreap rreader_treap_;
+  detect::TieredHistory writer_treap_;
+  detect::TieredHistory lreader_treap_;
+  detect::TieredHistory rreader_treap_;
   detect::GranuleMap writer_map_;
   detect::GranuleMap lreader_map_;
   detect::GranuleMap rreader_map_;
@@ -235,6 +240,13 @@ class PintDetector final : public detect::Detector,
   /// Effective history mode for this run: starts as !opt_.parallel_history
   /// and flips to true if history-thread spawn fails (graceful fallback).
   bool seq_history_ = false;
+  /// Phased one-core mode hoists the CPU-clock stopwatches from per-strand
+  /// to per-phase (finish_history_sequential): each lane runs as one
+  /// uninterrupted phase on the calling thread, so two clock reads bound the
+  /// same work that thousands of per-strand reads did - at ~200ns per read
+  /// that is a measurable slice of the Fig. 2 overhead.  Written before the
+  /// phases start, read on the same thread (seq mode is single-threaded).
+  bool phase_watch_ = false;
   /// Set by the watchdog's on-stall action (or an unsurvivable allocation
   /// wait): pipeline loops wind down promptly instead of spinning forever.
   std::atomic<bool> cancel_{false};

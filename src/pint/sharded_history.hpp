@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "detect/history.hpp"
+#include "detect/tiered_history.hpp"
 #include "reach/engine.hpp"
 #include "support/assert.hpp"
 #include "support/timer.hpp"
@@ -59,16 +60,17 @@ inline void for_shard_pieces(detect::addr_t lo, detect::addr_t hi, int shard,
 
 /// One history shard: the full three-store summary for its stripes.
 struct HistoryShard {
-  treap::IntervalTreap writer;
-  treap::IntervalTreap lreader;
-  treap::IntervalTreap rreader;
+  detect::TieredHistory writer;
+  detect::TieredHistory lreader;
+  detect::TieredHistory rreader;
   StopwatchAccum watch;
   // precedes() memo - touched only by this shard's worker thread, like the
   // treaps above.  Counters summed into Stats at run end (quiescence).
   reach::Engine::Memo memo;
 
-  HistoryShard(std::uint64_t seed_w, std::uint64_t seed_l, std::uint64_t seed_r)
-      : writer(seed_w), lreader(seed_l), rreader(seed_r) {}
+  HistoryShard(std::uint64_t seed_w, std::uint64_t seed_l, std::uint64_t seed_r,
+               bool tier = false)
+      : writer(seed_w, tier), lreader(seed_l, tier), rreader(seed_r, tier) {}
 
   /// Applies one strand record to this shard (reads checked then inserted,
   /// writes checked against all three stores then inserted, clears/frees

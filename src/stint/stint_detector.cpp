@@ -1,8 +1,10 @@
 #include "stint/stint_detector.hpp"
 
 #include <cstdlib>
+#include <memory>
 
 #include "detect/instrument.hpp"
+#include "support/arena.hpp"
 #include "support/rng.hpp"
 #include "support/telemetry.hpp"
 
@@ -12,20 +14,30 @@ using detect::Strand;
 
 StintDetector::StintDetector(const Options& opt)
     : opt_(opt),
-      writer_treap_(opt.seed * 2 + 1),
-      reader_treap_(opt.seed * 2 + 2) {
+      writer_treap_(opt.seed * 2 + 1, opt.tuning.tier),
+      reader_treap_(opt.seed * 2 + 2, opt.tuning.tier) {
   rep_.set_verbose(opt_.verbose_races);
 }
 
 StintDetector::~StintDetector() {
-  for (Strand* s : owned_) delete s;
+  // Arena retirement (DESIGN.md §13): the whole owned set goes back to the
+  // process-wide recycler in one hand-off; with the knob off give_all
+  // destroys them, matching the old per-object delete.
+  std::vector<std::unique_ptr<Strand>> batch;
+  batch.reserve(owned_.size());
+  for (Strand* s : owned_) batch.emplace_back(s);
+  support::Recycler<Strand>::instance().give_all(&batch);
 }
 
 Strand* StintDetector::alloc_strand() {
   Strand* s = free_list_;
   if (s != nullptr) {
     free_list_ = s->pool_next;
+  } else if (auto rec = support::Recycler<Strand>::instance().take()) {
+    s = rec.release();
+    owned_.push_back(s);
   } else {
+    support::note_arena_fresh();
     s = new Strand();
     owned_.push_back(s);
   }
@@ -44,6 +56,12 @@ void StintDetector::seal_strand(Strand* s) {
   s->writes.finalize(opt_.coalesce);
   read_intervals_ += s->reads.items().size();
   write_intervals_ += s->writes.items().size();
+  tail_hits_ += s->reads.tail_hits() + s->writes.tail_hits();
+  tail_misses_ += s->reads.tail_misses() + s->writes.tail_misses();
+  fin_sorted_ += (s->reads.fin_path() == detect::FinalizePath::kSorted) +
+                 (s->writes.fin_path() == detect::FinalizePath::kSorted);
+  fin_simd_ += (s->reads.fin_path() == detect::FinalizePath::kSimd) +
+               (s->writes.fin_path() == detect::FinalizePath::kSimd);
 }
 
 void StintDetector::cursor_flush() {
@@ -60,6 +78,14 @@ void StintDetector::cursor_flush() {
 void StintDetector::process_strand(Strand* s) {
   cursor_flush();  // pending cursor intervals land in s before the seal
   seal_strand(s);
+  // Empty-strand skip (DESIGN.md §13): no accesses, clears or frees means
+  // the history phases would be no-ops - skip their stopwatch reads and
+  // spans entirely.
+  if (!s->has_work()) {
+    stats_.empty_strand_skips.fetch_add(1, std::memory_order_relaxed);
+    recycle_strand(s);
+    return;
+  }
   reach::Engine::Memo* memo = opt_.tuning.memo ? &memo_ : nullptr;
   // STINT's history runs inline on the execution thread; the two spans make
   // its writer/reader phases comparable with PINT's asynchronous tracks.
@@ -263,6 +289,7 @@ detect::RunResult StintDetector::run(std::function<void()> fn) {
   rt::Scheduler sched(so);
 
   detect::set_active_detector(this);
+  const support::ArenaCounters arena0 = support::arena_counters();
   Timer total;
   sched.run([&] { fn(); });
   stats_.total_ns.store(total.elapsed_ns());
@@ -283,6 +310,22 @@ detect::RunResult StintDetector::run(std::function<void()> fn) {
   const std::uint64_t mh = memo_.hits;
   stats_.memo_queries.store(mq);
   stats_.memo_hits.store(mh);
+  stats_.tail_probe_hits.store(tail_hits_);
+  stats_.tail_probe_misses.store(tail_misses_);
+  stats_.finalize_sorted_skips.store(fin_sorted_);
+  stats_.finalize_simd.store(fin_simd_);
+  // Arena counters are process-wide monotonic; attribute this run's delta.
+  const support::ArenaCounters arena1 = support::arena_counters();
+  stats_.arena_reuses.store(arena1.reuses - arena0.reuses);
+  stats_.arena_fresh.store(arena1.fresh - arena0.fresh);
+  stats_.tier_compactions.store(writer_treap_.compactions() +
+                                reader_treap_.compactions());
+  stats_.tier_cold_hits.store(writer_treap_.cold_hits() +
+                              reader_treap_.cold_hits());
+  telem::count("access.tail.hits", tail_hits_);
+  telem::count("access.tail.misses", tail_misses_);
+  telem::count("access.finalize.sorted", fin_sorted_);
+  telem::count("access.finalize.simd", fin_simd_);
   telem::count("access.fastpath.total", fast_accesses_);
   telem::count("access.fastpath.hits", fast_hits_);
   telem::count("access.fastpath.spills", cursor_spills_);

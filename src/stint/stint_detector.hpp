@@ -24,6 +24,7 @@
 #include "detect/run_result.hpp"
 #include "detect/stats.hpp"
 #include "detect/strand.hpp"
+#include "detect/tiered_history.hpp"
 #include "reach/engine.hpp"
 #include "runtime/scheduler.hpp"
 #include "support/timer.hpp"
@@ -91,8 +92,8 @@ class StintDetector final : public detect::Detector,
   reach::Engine reach_;
   detect::RaceReporter rep_;
   detect::Stats stats_;
-  treap::IntervalTreap writer_treap_;
-  treap::IntervalTreap reader_treap_;
+  detect::TieredHistory writer_treap_;
+  detect::TieredHistory reader_treap_;
   detect::GranuleMap writer_map_;
   detect::GranuleMap reader_map_;
   // precedes() memo - everything is single-threaded here, so one cache is
@@ -109,6 +110,8 @@ class StintDetector final : public detect::Detector,
   std::uint64_t strands_ = 0;
   std::uint64_t fast_accesses_ = 0, fast_hits_ = 0, slow_accesses_ = 0;
   std::uint64_t cursor_spills_ = 0, policy_switches_ = 0, policy_bypass_ = 0;
+  std::uint64_t tail_hits_ = 0, tail_misses_ = 0;
+  std::uint64_t fin_sorted_ = 0, fin_simd_ = 0;
   StopwatchAccum writer_watch_, reader_watch_;
   bool used_ = false;
 };

@@ -158,11 +158,13 @@ Fiber* Fiber::create(std::size_t stack_bytes, Entry entry, void* arg) {
 void Fiber::reset(Entry entry, void* arg) {
   entry_ = entry;
   arg_ = arg;
+  san::clear_stack_poison(stack_base_, stack_size_);
   ctx_.sp = make_initial_sp(stack_base_, stack_size_, &fiber_entry_shim, this);
 }
 
 void Fiber::destroy() {
   san::destroy_fiber_meta(ctx_.san);
+  san::clear_stack_poison(stack_base_, stack_size_);
   ::munmap(map_base_, map_size_);
   delete this;
 }

@@ -46,6 +46,7 @@
 #if defined(PINT_ASAN)
 #include <pthread.h>
 
+#include <sanitizer/asan_interface.h>
 #include <sanitizer/common_interface_defs.h>
 #endif
 
@@ -134,6 +135,21 @@ inline void on_fiber_entry() {
 #if defined(PINT_ASAN)
   __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
 #endif
+}
+
+/// A fiber stack is about to be reused (Fiber::reset) or returned to the OS
+/// (Fiber::destroy).  The frames abandoned at the fiber's final switch-out
+/// never ran their epilogues, so their redzone poison is still in shadow
+/// memory; the next code to occupy those addresses - a reset fiber, or an
+/// unrelated mapping after munmap - would misfire on it.
+inline void clear_stack_poison(const void* stack_bottom, std::size_t size) {
+#if defined(PINT_ASAN)
+  if (stack_bottom != nullptr && size != 0) {
+    __asan_unpoison_memory_region(const_cast<void*>(stack_bottom), size);
+  }
+#endif
+  (void)stack_bottom;
+  (void)size;
 }
 
 }  // namespace pint::san

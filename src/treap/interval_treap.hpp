@@ -25,9 +25,12 @@
 // treap worker; in STINT everything runs on one thread (paper §III-C).
 
 #include <cstdint>
+#include <new>
+#include <type_traits>
 #include <vector>
 
 #include "reach/engine.hpp"
+#include "support/arena.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
 
@@ -46,9 +49,19 @@ struct Accessor {
 
 class IntervalTreap {
  public:
-  explicit IntervalTreap(std::uint64_t seed = 0x51A7EEDULL) : rng_(seed) {}
+  // The arena knob is snapshotted at construction (detectors build their
+  // stores in the constructor, before run() re-applies globals) so every
+  // chunk's release matches its allocation provenance.
+  explicit IntervalTreap(std::uint64_t seed = 0x51A7EEDULL)
+      : rng_(seed), use_arena_(support::arena_recycle()) {}
   ~IntervalTreap() {
-    for (Node* c : chunks_) delete[] c;
+    for (Node* c : chunks_) {
+      if (use_arena_) {
+        support::SlabSource::instance().give(c, sizeof(Node) * kChunk);
+      } else {
+        delete[] c;
+      }
+    }
   }
   IntervalTreap(const IntervalTreap&) = delete;
   IntervalTreap& operator=(const IntervalTreap&) = delete;
@@ -77,24 +90,7 @@ class IntervalTreap {
   void insert_reader(addr_t lo, addr_t hi, const Accessor& a, R&& resolve) {
     Node *left, *right;
     carve(lo, hi, &left, &right);
-    // Build the winner cover of [lo, hi] in address order.
-    pieces_out_.clear();
-    addr_t cursor = lo;
-    bool covered_to_hi = false;
-    for (const Piece& p : scratch_) {
-      if (p.lo > cursor) push_piece(cursor, p.lo - 1, a);
-      const Accessor& w = resolve(p.who, a) ? a : p.who;
-      push_piece(p.lo, p.hi, w);
-      if (p.hi == hi) {  // avoids the hi+1 wrap when hi == kMaxAddr
-        covered_to_hi = true;
-        break;
-      }
-      cursor = p.hi + 1;
-    }
-    if (!covered_to_hi && cursor <= hi) push_piece(cursor, hi, a);
-    Node* mid = nullptr;
-    for (const Piece& p : pieces_out_) mid = merge(mid, make_node(p.lo, p.hi, p.who));
-    root_ = merge(merge(left, mid), right);
+    root_ = merge(merge(left, reader_cover(lo, hi, a, resolve)), right);
   }
 
   /// Removes all coverage of [lo, hi], truncating boundary intervals.
@@ -124,8 +120,17 @@ class IntervalTreap {
   template <class Iv, class F>
   void query_run(const Iv* iv, std::size_t k, F&& cb) const {
     if (k == 0) return;
-    if (k == 1 || !run_is_dense(iv, k)) {
-      for (std::size_t j = 0; j < k; ++j) query(iv[j].lo, iv[j].hi, cb);
+    if (k == 1) {
+      query(iv[0].lo, iv[0].hi, cb);
+      return;
+    }
+    if (!run_is_dense(iv, k)) {
+      // One frontier-pruned in-order walk instead of k root descents.  The
+      // emission order is (segment, interval), equal to the per-interval
+      // order by the same §10 argument the dense join below relies on.
+      assert_run_sorted(iv, k);
+      std::size_t j = 0;
+      query_multi(root_, iv, k, &j, cb);
       return;
     }
     assert_run_sorted(iv, k);
@@ -145,8 +150,25 @@ class IntervalTreap {
   void insert_writer_run(const Iv* iv, std::size_t k, const Accessor& a,
                          F&& cb) {
     if (k == 0) return;
-    if (k == 1 || !run_is_dense(iv, k)) {
-      for (std::size_t j = 0; j < k; ++j) insert_writer(iv[j].lo, iv[j].hi, a, cb);
+    if (k == 1) {
+      insert_writer(iv[0].lo, iv[0].hi, a, cb);
+      return;
+    }
+    if (!run_is_dense(iv, k)) {
+      // Incremental frontier apply (DESIGN.md §13): each interval's carve
+      // works on the shrinking right remainder instead of the whole tree.
+      assert_run_sorted(iv, k);
+      Node* done = nullptr;
+      Node* rest = root_;
+      root_ = nullptr;
+      for (std::size_t j = 0; j < k; ++j) {
+        Node *l, *r;
+        carve_tree(&rest, iv[j].lo, iv[j].hi, &l, &r);
+        for (const Piece& p : scratch_) cb(p.lo, p.hi, p.who);
+        done = merge(done, merge(l, make_node(iv[j].lo, iv[j].hi, a)));
+        rest = r;
+      }
+      root_ = merge(done, rest);
       return;
     }
     assert_run_sorted(iv, k);
@@ -181,10 +203,26 @@ class IntervalTreap {
   void insert_reader_run(const Iv* iv, std::size_t k, const Accessor& a,
                          R&& resolve) {
     if (k == 0) return;
-    if (k == 1 || !run_is_dense(iv, k)) {
+    if (k == 1) {
+      insert_reader(iv[0].lo, iv[0].hi, a, resolve);
+      return;
+    }
+    if (!run_is_dense(iv, k)) {
+      // Incremental frontier apply; contents AND shape match k insert_reader
+      // calls exactly (same carves, same RNG order, and a treap's shape is a
+      // function of its key/priority set alone).
+      assert_run_sorted(iv, k);
+      Node* done = nullptr;
+      Node* rest = root_;
+      root_ = nullptr;
       for (std::size_t j = 0; j < k; ++j) {
-        insert_reader(iv[j].lo, iv[j].hi, a, resolve);
+        Node *l, *r;
+        carve_tree(&rest, iv[j].lo, iv[j].hi, &l, &r);
+        done = merge(
+            done, merge(l, reader_cover(iv[j].lo, iv[j].hi, a, resolve)));
+        rest = r;
       }
+      root_ = merge(done, rest);
       return;
     }
     assert_run_sorted(iv, k);
@@ -232,8 +270,23 @@ class IntervalTreap {
   template <class Iv>
   void erase_run(const Iv* iv, std::size_t k) {
     if (k == 0) return;
-    if (k == 1 || !run_is_dense(iv, k)) {
-      for (std::size_t j = 0; j < k; ++j) erase_range(iv[j].lo, iv[j].hi);
+    if (k == 1) {
+      erase_range(iv[0].lo, iv[0].hi);
+      return;
+    }
+    if (!run_is_dense(iv, k)) {
+      // Incremental frontier erase, mirroring the sparse insert paths.
+      assert_run_sorted(iv, k);
+      Node* done = nullptr;
+      Node* rest = root_;
+      root_ = nullptr;
+      for (std::size_t j = 0; j < k; ++j) {
+        Node *l, *r;
+        carve_tree(&rest, iv[j].lo, iv[j].hi, &l, &r);
+        done = merge(done, l);
+        rest = r;
+      }
+      root_ = merge(done, rest);
       return;
     }
     assert_run_sorted(iv, k);
@@ -272,6 +325,14 @@ class IntervalTreap {
 
   bool empty() const { return root_ == nullptr; }
   std::size_t size() const { return count_rec(root_); }
+
+  /// Releases every stored interval back to the node free list (chunks are
+  /// retained).  Used by the tiered history's compaction, which rebuilds the
+  /// cold tier from a full traversal and then empties the hot frontier.
+  void clear() {
+    clear_rec(root_);
+    root_ = nullptr;
+  }
 
   /// In-order traversal of all stored intervals: cb(lo, hi, accessor).
   template <class F>
@@ -314,7 +375,7 @@ class IntervalTreap {
       free_ = n->r;
     } else {
       if (used_ == kChunk) {
-        chunks_.push_back(new Node[kChunk]);
+        chunks_.push_back(alloc_chunk());
         used_ = 0;
       }
       n = &chunks_.back()[used_++];
@@ -329,6 +390,19 @@ class IntervalTreap {
   void release(Node* n) {
     n->r = free_;
     free_ = n;
+  }
+
+  /// Node chunks are recycled raw through the process-wide SlabSource when
+  /// the arena knob was on at construction (DESIGN.md §13); nodes are
+  /// placement-constructed into the recycled block, and the trivial
+  /// destructor makes the wholesale give-back in ~IntervalTreap safe.
+  Node* alloc_chunk() {
+    static_assert(std::is_trivially_destructible_v<Node>);
+    if (!use_arena_) return new Node[kChunk];
+    void* raw = support::SlabSource::instance().take(sizeof(Node) * kChunk);
+    Node* arr = static_cast<Node*>(raw);
+    for (std::size_t i = 0; i < kChunk; ++i) ::new (arr + i) Node();
+    return arr;
   }
 
   void push_piece(addr_t lo, addr_t hi, const Accessor& w) {
@@ -468,30 +542,52 @@ class IntervalTreap {
     spine_push(n);
   }
 
-  /// Splits by key: a = nodes with node.lo < k, b = the rest.
+  /// Splits by key: a = nodes with node.lo < k, b = the rest.  Iterative
+  /// top-down descent (the treap ops are the history lanes' hot loop, and
+  /// the recursive form pays a call frame per level).
   static void split(Node* t, addr_t k, Node** a, Node** b) {
-    if (!t) {
-      *a = *b = nullptr;
-      return;
+    while (t) {
+      if (t->lo < k) {
+        *a = t;
+        a = &t->r;
+        t = t->r;
+      } else {
+        *b = t;
+        b = &t->l;
+        t = t->l;
+      }
     }
-    if (t->lo < k) {
-      split(t->r, k, &t->r, b);
-      *a = t;
-    } else {
-      split(t->l, k, a, &t->l);
-      *b = t;
-    }
+    *a = nullptr;
+    *b = nullptr;
   }
 
-  Node* merge(Node* a, Node* b) {
+  /// Iterative merge; the priority tie rule (left wins on >=) matches the
+  /// recursive original, so shapes are unchanged.
+  static Node* merge(Node* a, Node* b) {
     if (!a) return b;
     if (!b) return a;
-    if (a->prio >= b->prio) {
-      a->r = merge(a->r, b);
-      return a;
+    Node* root;
+    Node** link = &root;
+    for (;;) {
+      if (a->prio >= b->prio) {
+        *link = a;
+        link = &a->r;
+        a = a->r;
+        if (!a) {
+          *link = b;
+          break;
+        }
+      } else {
+        *link = b;
+        link = &b->l;
+        b = b->l;
+        if (!b) {
+          *link = a;
+          break;
+        }
+      }
     }
-    b->l = merge(a, b->l);
-    return b;
+    return root;
   }
 
   /// Detaches the maximum-key node. Heap order survives because the removed
@@ -507,14 +603,50 @@ class IntervalTreap {
     return m;
   }
 
+  /// Builds the winner cover of [lo, hi] from the current scratch_ (the
+  /// just-carved overlapped segments): gaps take `a`, overlapped segments go
+  /// through `resolve`, adjacent same-winner pieces coalesce.  Returns the
+  /// merged middle tree.  Shared by insert_reader and the sparse run apply.
+  template <class R>
+  Node* reader_cover(addr_t lo, addr_t hi, const Accessor& a, R& resolve) {
+    pieces_out_.clear();
+    addr_t cursor = lo;
+    bool covered_to_hi = false;
+    for (const Piece& p : scratch_) {
+      if (p.lo > cursor) push_piece(cursor, p.lo - 1, a);
+      const Accessor& w = resolve(p.who, a) ? a : p.who;
+      push_piece(p.lo, p.hi, w);
+      if (p.hi == hi) {  // avoids the hi+1 wrap when hi == kMaxAddr
+        covered_to_hi = true;
+        break;
+      }
+      cursor = p.hi + 1;
+    }
+    if (!covered_to_hi && cursor <= hi) push_piece(cursor, hi, a);
+    Node* mid = nullptr;
+    for (const Piece& p : pieces_out_) mid = merge(mid, make_node(p.lo, p.hi, p.who));
+    return mid;
+  }
+
   /// Removes everything overlapping [lo, hi] from the tree, records the
   /// overlapped segments (trimmed to [lo, hi]) into scratch_ in address
   /// order, and reattaches truncated boundary remainders to *left / *right.
   void carve(addr_t lo, addr_t hi, Node** left, Node** right) {
+    carve_tree(&root_, lo, hi, left, right);
+  }
+
+  /// carve() generalized over an arbitrary subtree: the sparse run paths
+  /// carve each interval out of the shrinking right remainder instead of
+  /// re-splitting the whole tree from the root per interval.  The caller
+  /// guarantees every node left of the carve window that could straddle it
+  /// is inside *tree (true for the frontier apply: processed intervals all
+  /// end strictly before the next interval's lo).
+  void carve_tree(Node** tree, addr_t lo, addr_t hi, Node** left,
+                  Node** right) {
     scratch_.clear();
     Node *a, *b;
-    split(root_, lo, &a, &b);
-    root_ = nullptr;
+    split(*tree, lo, &a, &b);
+    *tree = nullptr;
     Node* rightrem = nullptr;
 
     Node* pred = detach_max(&a);
@@ -559,6 +691,25 @@ class IntervalTreap {
     collect_overlaps(r, hi, rightrem);
   }
 
+  /// Multi-range query walk for sorted disjoint runs: *j is the frontier
+  /// (first interval whose hi the walk has not passed).  A left subtree is
+  /// pruned when every remaining interval starts at/after n->lo (disjoint
+  /// segments mean the whole left subtree ends before n->lo); the right
+  /// subtree is pruned once the frontier is exhausted.
+  template <class Iv, class F>
+  static void query_multi(const Node* n, const Iv* iv, std::size_t k,
+                          std::size_t* j, F& cb) {
+    if (!n || *j >= k) return;
+    if (iv[*j].lo < n->lo) query_multi(n->l, iv, k, j, cb);
+    while (*j < k && iv[*j].hi < n->lo) ++*j;
+    for (std::size_t x = *j; x < k && iv[x].lo <= n->hi; ++x) {
+      cb(iv[x].lo > n->lo ? iv[x].lo : n->lo,
+         iv[x].hi < n->hi ? iv[x].hi : n->hi, n->who);
+    }
+    if (*j >= k) return;
+    query_multi(n->r, iv, k, j, cb);
+  }
+
   template <class F>
   static void query_rec(const Node* n, addr_t lo, addr_t hi, F& cb) {
     if (!n) return;
@@ -586,6 +737,13 @@ class IntervalTreap {
   static std::size_t count_rec(const Node* n) {
     return n ? 1 + count_rec(n->l) + count_rec(n->r) : 0;
   }
+
+  void clear_rec(Node* n) {
+    if (n == nullptr) return;
+    clear_rec(n->l);
+    clear_rec(n->r);
+    release(n);
+  }
   static bool heap_ok(const Node* n) {
     if (!n) return true;
     if (n->l && n->l->prio > n->prio) return false;
@@ -598,6 +756,7 @@ class IntervalTreap {
 
   Node* root_ = nullptr;
   Xoshiro256 rng_;
+  bool use_arena_ = false;
   Node* free_ = nullptr;
   std::vector<Node*> chunks_;
   std::size_t used_ = kChunk;
