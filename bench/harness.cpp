@@ -244,10 +244,15 @@ Args parse_args(int argc, char** argv) {
       a.stats_json = next();
     } else if (const char* v2 = eq_value("--stats-json")) {
       a.stats_json = v2;
+    } else if (std::strcmp(s, "--json") == 0) {
+      a.json = next();
+    } else if (const char* v3 = eq_value("--json")) {
+      a.json = v3;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale S] [--workers N] [--reps R] "
-                   "[--kernel NAME]... [--trace-out FILE] [--stats-json FILE]\n",
+                   "[--kernel NAME]... [--trace-out FILE] [--stats-json FILE] "
+                   "[--json FILE]\n",
                    argv[0]);
       std::exit(2);
     }

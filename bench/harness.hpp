@@ -78,6 +78,8 @@ struct Args {
   std::vector<std::string> kernels;  // empty: binary default
   std::string trace_out;   // --trace-out=FILE (Chrome trace JSON base path)
   std::string stats_json;  // --stats-json=FILE (metrics JSON base path)
+  std::string json;        // --json FILE: figure-level summary JSON (only
+                           // figure binaries that document it emit one)
 };
 Args parse_args(int argc, char** argv);
 

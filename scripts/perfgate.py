@@ -17,7 +17,16 @@ compares them against the committed BENCH_access.json / BENCH_treap.json
     ratio is noisier than the geomean on a shared host) against its
     committed row;
   * any treap row marked "enforced" in the committed snapshot has a fresh
-    per-record speedup below the committed "speedup_bar".
+    per-record speedup below the committed "speedup_bar";
+  * the strong-scaling efficiency at max workers (BENCH_fig3.json, emitted
+    by fig3_strong_scaling --json) regressed by more than
+    --scaling-tolerance (default 10%) on the kernel geomean against the
+    committed snapshot, or any single kernel fell through its loose floor -
+    this is the key that keeps the next PR from quietly reintroducing the
+    reachability scaling cliff.  The fresh fig3 run is replayed at the
+    committed snapshot's scale and kernel list so the comparison is
+    apples-to-apples, and a backend mismatch between the snapshots is a
+    hard failure (efficiencies of different oracles are not comparable).
 
 The in-binary acceptance bars (cursor >= 3x, sort cursor rate > 0.5, heat
 memo rate > 0.5, enforced treap rows >= bar on their own fresh numbers)
@@ -31,6 +40,7 @@ Usage:
 
 import argparse
 import json
+import math
 import os
 import subprocess
 import sys
@@ -99,6 +109,50 @@ def gate_treap(baseline, fresh):
     return failures
 
 
+def gate_fig3(baseline, fresh, scaling_tolerance):
+    """Scaling key: per-kernel efficiency@max is a ratio of two noisy cell
+    times (measured single-run spread on the shared 1-core host is ~+/-15%),
+    so the enforced --scaling-tolerance bound applies to the GEOMEAN of the
+    per-kernel efficiency ratios; each kernel also gets a loose 25% floor -
+    wide enough for cell noise, far below the 10-100x collapse an actual
+    reachability cliff reintroduction shows (DESIGN.md section 14.4)."""
+    kernel_floor = 0.25
+    failures = []
+    if baseline.get("backend") != fresh.get("backend"):
+        return [f"FAIL fig3 backend mismatch: committed "
+                f"'{baseline.get('backend')}' vs fresh "
+                f"'{fresh.get('backend')}' (re-commit BENCH_fig3.json for "
+                f"the active PINT_REACH_BACKEND)"]
+    fresh_rows = {k["name"]: k for k in fresh.get("kernels", [])}
+    log_sum, n = 0.0, 0
+    for row in baseline.get("kernels", []):
+        fr = fresh_rows.get(row["name"])
+        if fr is None:
+            failures.append(
+                f"FAIL fig3 kernel '{row['name']}' missing from fresh run")
+            continue
+        base, cur = row["efficiency_at_max"], fr["efficiency_at_max"]
+        ratio = cur / base if base > 0 else float("inf")
+        log_sum += math.log(ratio)
+        n += 1
+        line = (f"fig3 {row['name']}: efficiency@max committed {base:.4f} "
+                f"vs fresh {cur:.4f} -> ratio {ratio:.3f}")
+        if ratio < 1.0 - kernel_floor:
+            failures.append(
+                f"FAIL {line} below the per-kernel floor 1 - {kernel_floor}")
+        else:
+            print(f"ok   {line}")
+    if n:
+        geo = math.exp(log_sum / n)
+        gline = f"fig3 efficiency@max geomean ratio {geo:.3f}"
+        if geo < 1.0 - scaling_tolerance:
+            failures.append(
+                f"FAIL {gline} regressed beyond 1 - {scaling_tolerance:.2f}")
+        else:
+            print(f"ok   {gline}")
+    return failures
+
+
 def run_bench(bench_dir, exe, args, out):
     cmd = [os.path.join(bench_dir, exe)] + args + [out]
     print("+ " + " ".join(cmd), flush=True)
@@ -112,16 +166,26 @@ def main():
                          "given, the benches are run into a temp dir")
     ap.add_argument("--fresh-access", help="pre-made fresh micro_access JSON")
     ap.add_argument("--fresh-treap", help="pre-made fresh micro_treap JSON")
+    ap.add_argument("--fresh-fig3",
+                    help="pre-made fresh fig3_strong_scaling JSON")
     ap.add_argument("--baseline-access",
                     default=os.path.join(REPO, "BENCH_access.json"))
     ap.add_argument("--baseline-treap",
                     default=os.path.join(REPO, "BENCH_treap.json"))
+    ap.add_argument("--baseline-fig3",
+                    default=os.path.join(REPO, "BENCH_fig3.json"))
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="allowed fractional geomean regression (default .10)")
     ap.add_argument("--kernel-tolerance", type=float, default=0.10,
                     help="allowed fractional per-kernel overhead regression "
                          "(default .10)")
+    ap.add_argument("--scaling-tolerance", type=float, default=0.10,
+                    help="allowed fractional efficiency-at-max-workers "
+                         "regression on the fig3 key (default .10)")
     opts = ap.parse_args()
+
+    with open(opts.baseline_fig3) as f:
+        base_fig3 = json.load(f)
 
     tmp = None
     if opts.bench_dir:
@@ -132,8 +196,19 @@ def main():
                   opts.fresh_access)
         run_bench(opts.bench_dir, "micro_treap", ["--bulk-json"],
                   opts.fresh_treap)
-    if not opts.fresh_access or not opts.fresh_treap:
-        ap.error("need --bench-dir or both --fresh-access and --fresh-treap")
+        # Replay the committed snapshot's exact sweep (scale + kernels) so
+        # the efficiency comparison is apples-to-apples.
+        opts.fresh_fig3 = os.path.join(tmp, "fig3.json")
+        fig3_args = ["--scale", str(base_fig3.get("scale", 8)),
+                     "--reps", "3"]
+        for k in base_fig3.get("kernels", []):
+            fig3_args += ["--kernel", k["name"]]
+        fig3_args += ["--json"]
+        run_bench(opts.bench_dir, "fig3_strong_scaling", fig3_args,
+                  opts.fresh_fig3)
+    if not opts.fresh_access or not opts.fresh_treap or not opts.fresh_fig3:
+        ap.error("need --bench-dir or all of --fresh-access, --fresh-treap "
+                 "and --fresh-fig3")
 
     with open(opts.baseline_access) as f:
         base_access = json.load(f)
@@ -143,10 +218,13 @@ def main():
         base_treap = json.load(f)
     with open(opts.fresh_treap) as f:
         fresh_treap = json.load(f)
+    with open(opts.fresh_fig3) as f:
+        fresh_fig3 = json.load(f)
 
     failures = gate_access(base_access, fresh_access, opts.tolerance,
                            opts.kernel_tolerance)
     failures += gate_treap(base_treap, fresh_treap)
+    failures += gate_fig3(base_fig3, fresh_fig3, opts.scaling_tolerance)
     for line in failures:
         print(line, file=sys.stderr)
     if failures:

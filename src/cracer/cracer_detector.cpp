@@ -203,9 +203,14 @@ void CracerDetector::on_spawn_return(rt::Worker&, rt::TaskFrame& child, bool) {
   shadow_.clear_range(child.fiber->stack_lo(), child.fiber->stack_hi() - 1);
 }
 
-void CracerDetector::on_continuation(rt::Worker&, rt::TaskFrame& parent, bool) {
+void CracerDetector::on_continuation(rt::Worker&, rt::TaskFrame& parent,
+                                     bool stolen) {
   PINT_ASSERT(parent.det_cont != nullptr);
-  parent.det_strand = parent.det_cont;
+  auto* t = static_cast<AccessorRec*>(parent.det_cont);
+  // Steal maintenance for the reachability engine (no-op for both current
+  // backends - their labels are globally valid; seam contract).
+  if (stolen) reach_.on_steal(t->label);
+  parent.det_strand = t;
   parent.det_cont = nullptr;
 }
 
@@ -213,6 +218,8 @@ void CracerDetector::on_after_sync(rt::Worker&, rt::TaskFrame& f,
                                    rt::SyncBlock& blk, bool) {
   auto* j = static_cast<AccessorRec*>(blk.det_sync);
   if (j == nullptr) return;
+  // Join maintenance (no-op for both current backends; seam contract).
+  reach_.on_join(static_cast<AccessorRec*>(f.det_strand)->label, j->label);
   f.det_strand = j;
   blk.det_sync = nullptr;
 }

@@ -102,6 +102,19 @@ Item* List::insert_after(Item* x) {
 }
 
 Group* List::make_gap(Group* g, Item* x) {
+  // Structural windows must be SERIALIZED: the seqlock below is a plain
+  // even/odd counter, and two concurrent openers would interleave their
+  // read-modify-writes - a reader could then observe an even value inside
+  // an open window (validating torn coordinates), and the counter can end
+  // the dance odd with no window open, spinning every future query forever.
+  // Not hypothetical: two spawners splitting different groups reproduce the
+  // stuck-odd state within milliseconds (bench/micro_reach.cpp's storm).
+  // Lock order: group lock (held by caller) -> struct_lock_ -> top_lock_;
+  // the migrated-item chase in insert_after holds nothing while it waits,
+  // so the order is acyclic.  Plain gap inserts never take this lock -
+  // only split/redistribute/relabel do, which amortize to a tiny fraction
+  // of spawns.
+  struct_lock_.lock();
   // Open the structural-mutation window: queries retry while version is odd.
   const std::uint64_t v = version_.load(std::memory_order_relaxed);
   version_.store(v + 1, std::memory_order_relaxed);
@@ -175,6 +188,7 @@ Group* List::make_gap(Group* g, Item* x) {
 
   std::atomic_thread_fence(std::memory_order_release);
   version_.store(v + 2, std::memory_order_release);
+  struct_lock_.unlock();
   return holder;
 }
 

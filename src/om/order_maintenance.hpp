@@ -22,6 +22,8 @@
 //  * structural mutations (group split, subtag redistribution, top-level
 //    relabel) are guarded by a global sequence lock: precedes() is a
 //    lock-free seqlock read that retries if a structural mutation raced it.
+//    Mutation windows are serialized by struct_lock_ (the seqlock counter
+//    is single-writer; see make_gap) - writers queue, readers never block.
 //
 // Items are allocated from an internal arena and live until the List dies;
 // race detectors keep strand labels in treaps long after the strand record
@@ -114,6 +116,13 @@ class List {
   void relabel_top();  // caller holds top_lock_
 
   Item* base_ = nullptr;
+  /// Serializes structural-mutation windows (split / redistribute / top
+  /// relabel).  The `version_` seqlock is a single-writer design: concurrent
+  /// openers interleaving `load; store v+1; ...; store v+2` can present an
+  /// even count inside an open window and strand the counter odd afterward
+  /// (every query then retries forever).  Acquired after the mutating
+  /// group's lock, before top_lock_.
+  Spinlock struct_lock_;
   mutable Spinlock top_lock_;
   Group* head_ = nullptr;  // top-level list head
   std::atomic<std::uint64_t> version_{0};

@@ -8,8 +8,8 @@
 // `detect::RunResult`), the instrumentation facade (record_read/record_write,
 // lock_acquire/lock_release, dmalloc/dfree and the PINT_* macros below), and
 // the fork-join runtime (rt::SpawnScope, parallel_for).  Sub-headers under
-// src/ remain includable but are NOT a stability boundary; `pint.hpp` is a
-// deprecated alias for this header.
+// src/ remain includable but are NOT a stability boundary; this header is
+// the only stable entry point (the old `pint.hpp` alias is gone).
 //
 // Quickstart:
 //

@@ -30,6 +30,11 @@
 #include <concepts>
 #include <cstdint>
 
+// Both backends are ALWAYS compiled (and concept-checked below) no matter
+// which one PINT_REACH_BACKEND selects, so an edit that breaks the seam for
+// the non-selected engine still fails every build - the backend-matrix CI
+// lane then proves behavioral (not just syntactic) interchangeability.
+#include "reach/depa.hpp"
 #include "reach/sp_order.hpp"
 
 namespace pint::reach {
@@ -68,13 +73,25 @@ concept HappensBeforeEngine =
 
 // Compile-time backend selection.  Detectors, history lanes and records all
 // name `reach::Engine` (and its nested Label/Relation/Memo); swapping the
-// oracle is a -DPINT_REACH_BACKEND=... away and everything re-types.
+// oracle is a -DPINT_REACH_BACKEND=... away (the top-level CMake option of
+// the same name maps `sporder`/`depa` onto these types) and everything
+// re-types.  Selection is compile-time, not a detect::Tuning runtime knob,
+// deliberately: strands, treap nodes and trace records embed Engine::Label
+// BY VALUE, so runtime dispatch would mean either fattening every record to
+// the union of both label layouts or virtualizing the hottest query in the
+// detector - EXPERIMENTS.md §fig3 carries the measured ablation that
+// justifies skipping that cost.
 #ifndef PINT_REACH_BACKEND
 #define PINT_REACH_BACKEND ::pint::reach::SpOrderEngine
 #endif
 
 using Engine = PINT_REACH_BACKEND;
 
+// BOTH backends must honor the contract at all times, selected or not.
+static_assert(HappensBeforeEngine<SpOrderEngine>,
+              "SpOrderEngine must satisfy reach::HappensBeforeEngine");
+static_assert(HappensBeforeEngine<DePaEngine>,
+              "DePaEngine must satisfy reach::HappensBeforeEngine");
 static_assert(HappensBeforeEngine<Engine>,
               "PINT_REACH_BACKEND must satisfy reach::HappensBeforeEngine");
 

@@ -145,6 +145,8 @@ class SpOrderEngine {
   using Relation = reach::Relation;
   using Memo = MemoCache;
 
+  static constexpr const char* kName = "sporder";
+
   SpOrderEngine() = default;
   SpOrderEngine(const SpOrderEngine&) = delete;
   SpOrderEngine& operator=(const SpOrderEngine&) = delete;

@@ -527,8 +527,12 @@ TEST(MemoCache, EveryModeCountsQueriesOnAllLanes) {
 // whose sublists it touched.  A far pair survives frontier churn that
 // relabels other sublists; only a TOP-LEVEL relabel - which rewrites every
 // group tag - may take it down.
+// This pins the SpOrder backend EXPLICITLY (not the selected reach::Engine):
+// sublist-version keying is that backend's own mechanism, and the test must
+// keep certifying it even in a -DPINT_REACH_BACKEND=depa build (where the
+// DePa memo never invalidates at all - see test_reach_backends.cpp).
 TEST(MemoCache, RelabelInvalidatesOnlyTheTouchedSublists) {
-  reach::Engine eng;
+  reach::SpOrderEngine eng;
   reach::MemoCache memo;
   reach::Label sync;
   const auto sl = eng.on_spawn(eng.root_label(), &sync);

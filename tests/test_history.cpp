@@ -25,7 +25,7 @@ struct HistoryFixture {
   detect::Stats stats;
   std::vector<std::unique_ptr<Strand>> strands;
 
-  Strand* strand(const reach::Label& l) {
+  Strand* strand(const reach::Engine::Label& l) {
     auto s = std::make_unique<Strand>();
     s->reset(std::uint64_t(strands.size()) + 1);
     s->label = l;

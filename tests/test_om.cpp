@@ -152,3 +152,58 @@ TEST(Om, ManyGroupsSplitKeepsGlobalOrder) {
     EXPECT_EQ(l.precedes(items[i], items[j]), i < j);
   }
 }
+
+// Regression: structural-mutation windows must be serialized.  Before
+// struct_lock_, two inserters splitting DIFFERENT groups interleaved their
+// seqlock open/close read-modify-writes; the counter could pass through an
+// even value mid-window (queries validating torn coordinates) and end the
+// race stranded odd, after which every precedes() retried forever.  Four
+// hotspot writers + four readers reproduced that hang within milliseconds.
+// The test hammers exactly that schedule; completing (and agreeing with the
+// intra-chain ground truth) is the assertion - under the old code it never
+// terminates.
+TEST(Om, ConcurrentSplitsSerializeTheSeqlockWindow) {
+  om::List l;
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kSpawnsPerWriter = 30000;  // far past many split cycles
+
+  // One hotspot anchor per writer, spread across distinct groups.
+  std::vector<om::Item*> anchors;
+  om::Item* cur = l.base();
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < 80; ++i) cur = l.insert_after(cur);  // force groups
+    anchors.push_back(cur);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> bad{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      om::Item* prev = anchors[std::size_t(w)];
+      for (int i = 0; i < kSpawnsPerWriter; ++i) {
+        om::Item* next = l.insert_after(prev);
+        if (!l.precedes(prev, next)) bad.fetch_add(1);
+        prev = next;
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Xoshiro256 rng(std::uint64_t(r) + 100);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto i = rng.next_below(anchors.size());
+        const auto j = rng.next_below(anchors.size());
+        if (i == j) continue;
+        if (l.precedes(anchors[i], anchors[j]) != (i < j)) bad.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_TRUE(l.check_invariants());
+}

@@ -11,7 +11,7 @@
 
 using namespace pint;
 using reach::Engine;
-using reach::Label;
+using Label = reach::Engine::Label;  // backend-generic: whatever is selected
 
 TEST(Reach, SpawnMakesChildAndContinuationParallel) {
   Engine e;
